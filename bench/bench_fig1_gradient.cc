@@ -1,0 +1,63 @@
+// FIG1 — the paper's Figure 1 scenario: tuples injected into the network
+// "autonomously propagate" and paint a spatial structure over it.
+//
+// Reproduction: inject a GradientTuple on grid networks of growing size
+// and verify/report (a) the painted field equals the BFS hop-distance
+// oracle everywhere, (b) propagation cost is exactly one broadcast per
+// node (the multicast-socket economy the prototype was built around),
+// and (c) how long the expanding ring takes to cover the network.
+#include "exp_common.h"
+
+using namespace tota;
+
+int main() {
+  exp::section("FIG1: distributed tuple paints a hop-distance field");
+  std::printf("%-28s %-10s %-12s %-12s %-12s\n", "grid", "nodes",
+              "accuracy", "tx/node", "cover_ms");
+
+  for (const int side : {3, 5, 8, 12, 16}) {
+    emu::World world(exp::manet_options(2003));
+    const auto nodes = world.spawn_grid(side, side, 80.0);
+    world.run_for(SimTime::from_seconds(1));
+
+    const SimTime injected = world.now();
+    const auto cost = exp::tx_cost(world, [&] {
+      world.mw(nodes.front())
+          .inject(std::make_unique<tuples::GradientTuple>("fig1"));
+      world.run_for(SimTime::from_seconds(5));
+    });
+
+    // Time until the farthest node sensed the tuple = time of the last
+    // arrival; re-derive by checking when the far corner saw it (the
+    // diameter endpoint).  We re-run with a subscription for precision.
+    emu::World timed(exp::manet_options(2003));
+    const auto tnodes = timed.spawn_grid(side, side, 80.0);
+    timed.run_for(SimTime::from_seconds(1));
+    SimTime last_arrival = timed.now();
+    for (const NodeId n : tnodes) {
+      timed.mw(n).subscribe(
+          Pattern::of_type(tuples::GradientTuple::kTag),
+          [&last_arrival, &timed](const Event&) {
+            last_arrival = timed.now();
+          },
+          static_cast<int>(EventKind::kTupleArrived));
+    }
+    const SimTime t0 = timed.now();
+    timed.mw(tnodes.front())
+        .inject(std::make_unique<tuples::GradientTuple>("fig1"));
+    timed.run_for(SimTime::from_seconds(5));
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%dx%d", side, side);
+    std::printf("%-28s %-10zu %-12.3f %-12.3f %-12.1f\n", label,
+                nodes.size(), exp::gradient_accuracy(world, nodes.front()),
+                static_cast<double>(cost) / static_cast<double>(nodes.size()),
+                (last_arrival - t0).millis());
+    (void)injected;
+  }
+
+  std::printf(
+      "\nexpected shape: accuracy 1.0 everywhere, ~1 tx/node, cover time\n"
+      "growing linearly with network diameter (expanding-ring flood).\n");
+  return 0;
+}

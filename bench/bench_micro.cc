@@ -1,0 +1,126 @@
+// Micro-benchmarks of middleware hot paths: serialization, pattern
+// matching, tuple-space operations, and single-node engine processing.
+#include <benchmark/benchmark.h>
+
+#include "tota/engine.h"
+#include "tota/tuple_space.h"
+#include "tuples/all.h"
+#include "wire/buffer.h"
+
+namespace tota {
+namespace {
+
+class NullPlatform final : public Platform {
+ public:
+  void broadcast(wire::Bytes payload) override {
+    bytes_out += payload.size();
+  }
+  [[nodiscard]] SimTime now() const override { return time; }
+  void schedule(SimTime, std::function<void()> action) override {
+    pending.push_back(std::move(action));
+  }
+  [[nodiscard]] Vec2 position() const override { return {}; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  std::size_t bytes_out = 0;
+  SimTime time;
+  std::vector<std::function<void()>> pending;
+
+ private:
+  Rng rng_{1};
+};
+
+tuples::GradientTuple sample_tuple() {
+  tuples::GradientTuple g("structure");
+  g.set_uid(TupleUid{NodeId{7}, 42});
+  g.set_hop(5);
+  g.content().set("source", NodeId{7}).set("hopcount", 5);
+  return g;
+}
+
+void BM_TupleEncode(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  const auto tuple = sample_tuple();
+  for (auto _ : state) {
+    wire::Writer w;
+    tuple.encode(w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_TupleEncode);
+
+void BM_TupleDecode(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  wire::Writer w;
+  sample_tuple().encode(w);
+  const auto bytes = w.take();
+  for (auto _ : state) {
+    wire::Reader r(bytes);
+    auto t = Tuple::decode(r);
+    benchmark::DoNotOptimize(t.get());
+  }
+}
+BENCHMARK(BM_TupleDecode);
+
+void BM_PatternMatch(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  const auto tuple = sample_tuple();
+  Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+  p.eq("name", "structure").eq("source", NodeId{7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.matches(tuple));
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_TupleSpaceRead(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto t = std::make_unique<tuples::GradientTuple>(
+        "field" + std::to_string(i % 8));
+    t->set_uid(TupleUid{NodeId{static_cast<std::uint64_t>(i + 1)}, 1});
+    t->content().set("source", NodeId{static_cast<std::uint64_t>(i + 1)})
+        .set("hopcount", static_cast<int>(i % 10));
+    space.put(std::move(t), NodeId{}, true, SimTime::zero());
+  }
+  Pattern p;
+  p.eq("name", "field3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.peek(p));
+  }
+}
+BENCHMARK(BM_TupleSpaceRead)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EngineReceive(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  NullPlatform platform;
+  TupleSpace space;
+  EventBus bus;
+  Engine engine(NodeId{1}, platform, space, bus);
+
+  wire::Writer w;
+  w.u8(1);
+  sample_tuple().encode(w);
+  const auto frame = w.take();
+  std::uint64_t seq = 100;
+  for (auto _ : state) {
+    // Unique uid per iteration so each frame runs the full store path.
+    state.PauseTiming();
+    auto t = sample_tuple();
+    t.set_uid(TupleUid{NodeId{7}, seq++});
+    wire::Writer fw;
+    fw.u8(1);
+    t.encode(fw);
+    const auto f = fw.take();
+    state.ResumeTiming();
+    engine.on_datagram(NodeId{3}, f);
+  }
+}
+BENCHMARK(BM_EngineReceive);
+
+}  // namespace
+}  // namespace tota
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// SEC5.1 — routing on mobile ad-hoc networks: gradient-overlay routing
+// (structure tuple + downhill message) versus the pure-flooding baseline
+// the paper's rule degenerates to.
+//
+// Sweeps network size and mobility; reports delivery ratio, radio
+// transmissions per message, and path stretch (hops travelled vs. BFS
+// optimum).  Expected shape: both deliver ~100% on static networks;
+// gradient routing costs O(path length) transmissions vs. O(N) for
+// flooding, with the gap widening as N grows; under mobility the
+// structure's self-repair keeps delivery high.
+#include "apps/routing.h"
+#include "baseline/flood_routing.h"
+#include "exp_common.h"
+
+using namespace tota;
+
+namespace {
+
+struct RunResult {
+  double delivery = 0;
+  double tx_per_msg = 0;
+  double stretch = 1;
+};
+
+RunResult run_static(int n_nodes, bool gradient, std::uint64_t seed) {
+  emu::World world(exp::manet_options(seed, 120.0));
+  const double arena_side = std::sqrt(static_cast<double>(n_nodes)) * 95.0;
+  world.spawn_random(n_nodes, Rect{{0, 0}, {arena_side, arena_side}});
+  world.run_for(SimTime::from_seconds(1));
+  const auto nodes = world.nodes();
+  const NodeId dest = nodes.back();
+  const NodeId src = nodes.front();
+  const auto optimal = world.net().topology().hop_distance(src, dest);
+  if (!optimal) return {};  // disconnected deployment; skip
+
+  int delivered = 0;
+  int hops_sum = 0;
+  std::unique_ptr<apps::RoutingService> grad_rx;
+  std::unique_ptr<apps::RoutingService> grad_tx;
+  std::unique_ptr<baseline::FloodRoutingService> flood_rx;
+  std::unique_ptr<baseline::FloodRoutingService> flood_tx;
+
+  // Count hops by reading the delivered tuple's hop metadata.
+  world.mw(dest).subscribe(
+      Pattern::of_type(tuples::MessageTuple::kTag).eq("receiver", dest),
+      [&](const Event& e) {
+        ++delivered;
+        hops_sum += e.tuple->hop();
+      },
+      static_cast<int>(EventKind::kTupleArrived));
+
+  if (gradient) {
+    grad_rx = std::make_unique<apps::RoutingService>(world.mw(dest), nullptr);
+    grad_rx->advertise();
+    world.run_for(SimTime::from_seconds(3));
+    grad_tx = std::make_unique<apps::RoutingService>(world.mw(src), nullptr);
+  } else {
+    flood_rx = std::make_unique<baseline::FloodRoutingService>(world.mw(dest),
+                                                               nullptr);
+    flood_tx = std::make_unique<baseline::FloodRoutingService>(world.mw(src),
+                                                               nullptr);
+  }
+
+  const int kMessages = 10;
+  const auto before = world.net().counters().get("radio.tx");
+  for (int i = 0; i < kMessages; ++i) {
+    if (gradient) {
+      grad_tx->send(dest, "m" + std::to_string(i));
+    } else {
+      flood_tx->send(dest, "m" + std::to_string(i));
+    }
+    world.run_for(SimTime::from_millis(400));
+  }
+  world.run_for(SimTime::from_seconds(1));
+  const auto cost = world.net().counters().get("radio.tx") - before;
+
+  RunResult r;
+  r.delivery = static_cast<double>(delivered) / kMessages;
+  r.tx_per_msg = static_cast<double>(cost) / kMessages;
+  r.stretch = delivered > 0 ? (static_cast<double>(hops_sum) / delivered) /
+                                  static_cast<double>(*optimal)
+                            : 0.0;
+  return r;
+}
+
+RunResult run_mobile(double speed_mps, std::uint64_t seed) {
+  emu::World world(exp::manet_options(seed, 150.0));
+  const Rect arena{{0, 0}, {700, 700}};
+  // Sender and receiver static at opposite corners; 90 relays wander.
+  // The density (avg degree ~12) keeps the deployment connected with
+  // high probability even as relays drift — delivery failures then
+  // measure routing, not percolation.
+  const NodeId src = world.spawn({10, 10});
+  const NodeId dest = world.spawn({690, 690});
+  world.spawn_random(90, arena, [&](Rng&) {
+    return std::make_unique<sim::RandomWaypoint>(arena, speed_mps, speed_mps);
+  });
+  world.run_for(SimTime::from_seconds(1));
+
+  int delivered = 0;
+  apps::RoutingService rx(world.mw(dest),
+                          [&](NodeId, const std::string&) { ++delivered; });
+  rx.advertise();
+  world.run_for(SimTime::from_seconds(3));
+  apps::RoutingService tx(world.mw(src), nullptr);
+
+  const int kMessages = 20;
+  const auto before = world.net().counters().get("radio.tx");
+  for (int i = 0; i < kMessages; ++i) {
+    tx.send(dest, "m");
+    world.run_for(SimTime::from_seconds(1));
+  }
+  world.run_for(SimTime::from_seconds(2));
+  const auto cost = world.net().counters().get("radio.tx") - before;
+
+  RunResult r;
+  r.delivery = static_cast<double>(delivered) / kMessages;
+  r.tx_per_msg = static_cast<double>(cost) / kMessages;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  exp::section("SEC5.1a: gradient routing vs flooding, static networks");
+  std::printf("%-8s %-22s %-22s %-10s\n", "nodes", "gradient(tx/msg,dlv)",
+              "flooding(tx/msg,dlv)", "ratio");
+  for (const int n : {25, 50, 100, 200}) {
+    RunResult g;
+    RunResult f;
+    int runs = 0;
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      const auto gr = run_static(n, true, seed);
+      const auto fr = run_static(n, false, seed);
+      if (gr.delivery == 0 && fr.delivery == 0) continue;  // disconnected
+      g.delivery += gr.delivery;
+      g.tx_per_msg += gr.tx_per_msg;
+      g.stretch += gr.stretch;
+      f.delivery += fr.delivery;
+      f.tx_per_msg += fr.tx_per_msg;
+      ++runs;
+    }
+    if (runs == 0) continue;
+    std::printf("%-8d tx=%-7.1f dlv=%-7.2f tx=%-7.1f dlv=%-7.2f %-10.2f\n",
+                n, g.tx_per_msg / runs, g.delivery / runs, f.tx_per_msg / runs,
+                f.delivery / runs,
+                f.tx_per_msg > 0 ? f.tx_per_msg / std::max(g.tx_per_msg, 1.0)
+                                 : 0.0);
+  }
+  std::printf(
+      "expected shape: both deliver ~1.0; flooding cost ~= network size,\n"
+      "gradient cost ~= path length; the ratio widens with N.\n");
+
+  exp::section("SEC5.1b: delivery under mobility (structure self-repair)");
+  std::printf("%-14s %-12s %-12s\n", "speed_m_s", "delivery", "tx/msg");
+  for (const double speed : {0.0, 2.0, 5.0, 10.0}) {
+    RunResult acc;
+    int runs = 0;
+    for (const std::uint64_t seed : {21u, 22u, 23u}) {
+      const auto r = run_mobile(speed, seed);
+      acc.delivery += r.delivery;
+      acc.tx_per_msg += r.tx_per_msg;
+      ++runs;
+    }
+    std::printf("%-14.1f %-12.2f %-12.1f\n", speed, acc.delivery / runs,
+                acc.tx_per_msg / runs);
+  }
+  std::printf(
+      "expected shape: delivery stays high as speed rises (the middleware\n"
+      "re-shapes the overlay), at growing transmission cost (repair +\n"
+      "flood fallback when the structure is momentarily stale).\n");
+  return 0;
+}

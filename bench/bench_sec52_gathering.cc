@@ -1,0 +1,138 @@
+// SEC5.2 — gathering information in a dynamic network: the paper's two
+// solutions, plus the Lime-style local-sharing baseline.
+//
+//  (a) proactive adverts: one flood per sensor, then every lookup is a
+//      free local read anywhere in the network;
+//  (b) reactive query/answer: cost per query scales with the interest
+//      scope (the [RomJH02] pattern);
+//  (c) Lime-style scope-1 sharing: free to publish, but a seeker only
+//      finds the datum standing next to its owner.
+//
+// Reported: transmissions per operation and lookup success ratio by
+// seeker-to-sensor distance.
+#include "apps/gathering.h"
+#include "baseline/local_space.h"
+#include "exp_common.h"
+
+using namespace tota;
+
+int main() {
+  exp::section("SEC5.2: information gathering, 3 strategies (7x7 grid)");
+
+  // --- (a) proactive adverts -----------------------------------------------
+  {
+    emu::World world(exp::manet_options(31));
+    const auto grid = world.spawn_grid(7, 7, 80.0);
+    world.run_for(SimTime::from_seconds(1));
+    apps::InfoProvider sensor(world.mw(grid[0]), "temperature");
+    const auto publish_cost = exp::tx_cost(world, [&] {
+      sensor.advertise();
+      world.run_for(SimTime::from_seconds(3));
+    });
+    // Lookups are local reads: zero transmissions, success anywhere.
+    int found = 0;
+    const auto lookup_cost = exp::tx_cost(world, [&] {
+      for (const NodeId n : world.nodes()) {
+        apps::InfoSeeker seeker(world.mw(n));
+        if (seeker.find_advert("temperature")) ++found;
+      }
+    });
+    exp::row("proactive advert",
+             {{"publish_tx", static_cast<double>(publish_cost)},
+              {"lookup_tx", static_cast<double>(lookup_cost)},
+              {"success",
+               static_cast<double>(found) /
+                   static_cast<double>(world.nodes().size())}});
+  }
+
+  // --- (b) reactive query/answer, by scope ---------------------------------
+  for (const int scope : {2, 4, 8, 12}) {
+    emu::World world(exp::manet_options(32));
+    const auto grid = world.spawn_grid(7, 7, 80.0);
+    world.run_for(SimTime::from_seconds(1));
+    apps::InfoProvider sensor(world.mw(grid.back()), "temperature");
+    sensor.answer_queries([] { return "21C"; });
+    apps::InfoSeeker seeker(world.mw(grid.front()));
+
+    int answers = 0;
+    const auto cost = exp::tx_cost(world, [&] {
+      seeker.query("temperature",
+                   [&](const std::string&) { ++answers; }, scope);
+      world.run_for(SimTime::from_seconds(3));
+    });
+    // Sensor sits 12 hops away (corner to corner of 7x7).
+    exp::row("reactive scope=" + std::to_string(scope),
+             {{"tx", static_cast<double>(cost)},
+              {"answered", static_cast<double>(answers)}});
+  }
+
+  // --- (c) Lime-style local sharing ----------------------------------------
+  {
+    emu::World world(exp::manet_options(33));
+    const auto grid = world.spawn_grid(7, 7, 80.0);
+    world.run_for(SimTime::from_seconds(1));
+    baseline::LocalSpace owner(world.mw(grid[0]));
+    const auto publish_cost = exp::tx_cost(world, [&] {
+      owner.share("temperature", wire::Value{"21C"});
+      world.run_for(SimTime::from_seconds(2));
+    });
+    int found = 0;
+    for (const NodeId n : world.nodes()) {
+      baseline::LocalSpace reader(world.mw(n));
+      if (reader.lookup("temperature")) ++found;
+    }
+    exp::row("lime-style scope-1",
+             {{"publish_tx", static_cast<double>(publish_cost)},
+              {"success",
+               static_cast<double>(found) /
+                   static_cast<double>(world.nodes().size())}});
+  }
+
+  std::printf(
+      "\nexpected shape: proactive = one network flood then free universal\n"
+      "lookups; reactive cost grows with scope and answers appear once the\n"
+      "scope reaches the sensor (12 hops); lime-style sharing is nearly\n"
+      "free but found only by the owner and direct neighbours (~3/49).\n");
+
+  // --- (d) mobility: the advert field follows a moving sensor -------------
+  exp::section("SEC5.2d: advert coherence while the sensor drifts");
+  {
+    emu::World world(exp::manet_options(34));
+    const auto grid = world.spawn_grid(7, 7, 80.0);
+    world.run_for(SimTime::from_seconds(1));
+    const NodeId sensor_node = world.spawn({-80, 0});
+    apps::InfoProvider sensor(world.mw(sensor_node), "temperature");
+    sensor.advertise();
+    world.run_for(SimTime::from_seconds(3));
+
+    std::printf("%-12s %-14s %-16s\n", "t_s", "sensor_x_m", "advert_accuracy");
+    for (int step = 0; step <= 4; ++step) {
+      // Accuracy: fraction of nodes whose advert distance equals the BFS
+      // oracle to the sensor.
+      const auto oracle =
+          world.net().topology().hop_distances(sensor_node);
+      int ok = 0;
+      for (const NodeId n : grid) {
+        apps::InfoSeeker seeker(world.mw(n));
+        const auto ad = seeker.find_advert("temperature");
+        const auto it = oracle.find(n);
+        if (it != oracle.end() && ad && ad->distance_hops == it->second) {
+          ++ok;
+        }
+      }
+      std::printf("%-12.0f %-14.0f %-16.2f\n", world.now().seconds(),
+                  world.net().position(sensor_node).x,
+                  static_cast<double>(ok) / static_cast<double>(grid.size()));
+      if (step < 4) {
+        world.net().move_node(
+            sensor_node,
+            world.net().position(sensor_node) + Vec2{160, 0});
+        world.run_for(SimTime::from_seconds(4));
+      }
+    }
+    std::printf(
+        "expected shape: accuracy returns to ~1.0 a few seconds after each\n"
+        "move — the middleware re-shapes the advert field automatically.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared plumbing for the experiment binaries (bench_fig*, bench_sec*).
+//
+// Each binary reproduces one table/figure from DESIGN.md §2 and prints
+// its rows to stdout; EXPERIMENTS.md records a snapshot of this output
+// next to what the paper asserts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "emu/world.h"
+#include "tuples/all.h"
+
+namespace tota::exp {
+
+inline emu::World::Options manet_options(std::uint64_t seed,
+                                         double range_m = 100.0) {
+  emu::World::Options o;
+  o.net.radio.range_m = range_m;
+  o.net.seed = seed;
+  return o;
+}
+
+/// Prints a horizontal rule + centered header for one experiment section.
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints one row of "name value" pairs, aligned.
+inline void row(const std::string& label,
+                const std::vector<std::pair<std::string, double>>& cells) {
+  std::printf("%-28s", label.c_str());
+  for (const auto& [name, value] : cells) {
+    std::printf(" %s=%-10.4g", name.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+/// Transmissions used by `body()`.
+template <typename Fn>
+std::int64_t tx_cost(emu::World& world, Fn&& body) {
+  const auto before = world.net().counters().get("radio.tx");
+  body();
+  return world.net().counters().get("radio.tx") - before;
+}
+
+/// Fraction of nodes holding a replica matching `p`.
+inline double coverage(const emu::World& world, const Pattern& p) {
+  const auto nodes = world.nodes();
+  if (nodes.empty()) return 0.0;
+  int holders = 0;
+  for (const NodeId n : nodes) {
+    if (!world.mw(n).read(p).empty()) ++holders;
+  }
+  return static_cast<double>(holders) / static_cast<double>(nodes.size());
+}
+
+/// Fraction of nodes whose gradient replica equals the BFS oracle
+/// (unreachable nodes count as correct when empty).
+inline double gradient_accuracy(const emu::World& world, NodeId source) {
+  const auto oracle = world.net().topology().hop_distances(source);
+  const Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+  int correct = 0;
+  int total = 0;
+  for (const NodeId n : world.nodes()) {
+    ++total;
+    const auto replica = world.mw(n).read_one(p);
+    const auto it = oracle.find(n);
+    if (it == oracle.end()) {
+      correct += replica == nullptr ? 1 : 0;
+    } else {
+      correct += (replica != nullptr &&
+                  replica->content().at("hopcount").as_int() == it->second)
+                     ? 1
+                     : 0;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(correct) / total;
+}
+
+}  // namespace tota::exp

@@ -1,0 +1,85 @@
+// ContentStore — content-addressable storage over TOTA (paper §5.1's
+// CAN/Pastry claim, realized in the geographic-hash-table style).
+//
+// Every participating node runs a ContentStore.  A key hashes to a point
+// of the shared coordinate space; PUT navigates a NavTuple greedily to
+// the node closest to that point (the key's *home*), which keeps the
+// value as a DataTuple.  GET navigates the same way and the home answers
+// with a strict MessageTuple descending the navigation trail back to the
+// requester.  Node coordinates are advertised with scope-1 beacon fields,
+// which the middleware keeps fresh under mobility — so homes migrate as
+// the closest node changes, exactly like the "virtual overlay space"
+// mapping the paper sketches.
+//
+// Greedy navigation can stall in a coordinate void (no neighbour closer);
+// the stalled node then adopts the key, which is the standard GHT
+// "home perimeter" approximation.  get() reports nullopt on timeout.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tota/middleware.h"
+#include "tuples/gradient_tuple.h"
+#include "tuples/message_tuple.h"
+#include "tuples/nav_tuple.h"
+
+namespace tota::apps {
+
+class ContentStore {
+ public:
+  using GetCallback = std::function<void(std::optional<std::string>)>;
+
+  /// `keyspace` is the rectangle keys hash into; every participant must
+  /// use the same one.
+  ContentStore(Middleware& mw, Rect keyspace);
+  ~ContentStore();
+
+  ContentStore(const ContentStore&) = delete;
+  ContentStore& operator=(const ContentStore&) = delete;
+
+  /// Joins the overlay: beacons this node's coordinate and starts serving
+  /// navigation traffic.
+  void start();
+
+  /// Stores (key, value) at the key's home node.
+  void put(const std::string& key, std::string value);
+
+  /// Looks the key up; `callback` fires once with the value or, after
+  /// `timeout`, with nullopt.
+  void get(const std::string& key, GetCallback callback,
+           SimTime timeout = SimTime::from_seconds(2));
+
+  /// Deterministic key→point mapping (FNV-hashed into the keyspace).
+  static Vec2 key_point(const std::string& key, Rect keyspace);
+
+  /// Keys this node is currently home for.
+  [[nodiscard]] std::size_t stored_keys() const;
+
+  static constexpr const char* kBeaconName = "content-coord";
+
+ private:
+  /// True when no beaconing neighbour is closer to `target` than we are.
+  [[nodiscard]] bool is_home(Vec2 target) const;
+
+  void on_nav(const tuples::NavTuple& nav);
+
+  Middleware& mw_;
+  Rect keyspace_;
+  bool started_ = false;
+  SubscriptionId nav_subscription_ = 0;
+  SubscriptionId answer_subscription_ = 0;
+
+  struct PendingGet {
+    GetCallback callback;
+    bool done = false;
+  };
+  std::unordered_map<std::string, PendingGet> pending_gets_;
+  /// Navigations already acted on (trail refinements re-fire events).
+  std::unordered_set<TupleUid> handled_navs_;
+};
+
+}  // namespace tota::apps

@@ -1,0 +1,103 @@
+#include "apps/crowd.h"
+
+namespace tota::apps {
+
+CrowdNavigator::CrowdNavigator(Middleware& mw, CrowdNavParams params,
+                               Steer steer)
+    : mw_(mw), params_(std::move(params)), steer_(std::move(steer)) {}
+
+CrowdNavigator::~CrowdNavigator() { running_ = false; }
+
+void CrowdNavigator::start() {
+  if (started_) return;
+  started_ = true;
+  running_ = true;
+  // Presence: a short field around the visitor; maintenance drags it
+  // along as the visitor walks.
+  mw_.inject(std::make_unique<tuples::GradientTuple>(
+      kPresenceField, params_.avoid_radius_hops));
+  schedule_next();
+}
+
+void CrowdNavigator::schedule_next() {
+  mw_.platform().schedule(params_.control_period, [this] {
+    if (!running_) return;
+    control_step();
+    schedule_next();
+  });
+}
+
+std::optional<int> CrowdNavigator::destination_hops() const {
+  Pattern dest;
+  dest.eq("name", params_.destination).exists("hopcount");
+  const auto field = mw_.space().peek(dest);
+  if (field.empty()) return std::nullopt;
+  int best = 1 << 20;
+  for (const Tuple* t : field) {
+    best = std::min(best,
+                    static_cast<int>(t->content().at("hopcount").as_int()));
+  }
+  return best;
+}
+
+int CrowdNavigator::crowd_nearby() const {
+  Pattern presence = Pattern::of_type(tuples::GradientTuple::kTag);
+  presence.eq("name", kPresenceField);
+  const NodeId self = mw_.self();
+  int nearby = 0;
+  for (const Tuple* t : mw_.space().peek(presence)) {
+    const auto& field = static_cast<const tuples::GradientTuple&>(*t);
+    if (field.source() == self) continue;
+    if (field.hopcount() <= params_.avoid_radius_hops) ++nearby;
+  }
+  return nearby;
+}
+
+bool CrowdNavigator::arrived() const {
+  const auto d = destination_hops();
+  return d && *d <= params_.arrive_hops;
+}
+
+void CrowdNavigator::control_step() {
+  if (arrived()) {
+    steer_(Vec2{});
+    return;
+  }
+  const Vec2 here = mw_.platform().position();
+  Vec2 force{};
+
+  // Attraction: descend the destination field (toward its origin).
+  Pattern dest;
+  dest.eq("name", params_.destination).exists("hopcount");
+  for (const Tuple* t : mw_.space().peek(dest)) {
+    if (!t->content().has("origin_pos")) continue;
+    const Vec2 toward =
+        (t->content().at("origin_pos").as_vec2() - here).normalized();
+    force += toward;
+    break;  // one destination field suffices
+  }
+
+  // Repulsion: climb out of nearby visitors' presence fields, harder the
+  // closer they read.
+  Pattern presence = Pattern::of_type(tuples::GradientTuple::kTag);
+  presence.eq("name", kPresenceField);
+  const NodeId self = mw_.self();
+  for (const Tuple* t : mw_.space().peek(presence)) {
+    const auto& field = static_cast<const tuples::GradientTuple&>(*t);
+    if (field.source() == self) continue;
+    const int hops = field.hopcount();
+    if (hops > params_.avoid_radius_hops) continue;
+    if (!field.content().has("origin_pos")) continue;
+    const Vec2 away =
+        (here - field.content().at("origin_pos").as_vec2()).normalized();
+    const double weight =
+        params_.repulsion *
+        static_cast<double>(params_.avoid_radius_hops - hops + 1) /
+        static_cast<double>(params_.avoid_radius_hops + 1);
+    force += away * weight;
+  }
+
+  steer_(force * params_.gain_mps);
+}
+
+}  // namespace tota::apps

@@ -1,0 +1,78 @@
+// Crowd-aware navigation — the motivating scenario of the TOTA /
+// Co-Fields line of work ([Mam02]: "Coordinating Mobility in a Ubiquitous
+// Computing Scenario with Co-Fields" — tourists with PDAs steering
+// through a museum): move toward an attraction by descending its field
+// while climbing away from crowd fields that other visitors emit.
+//
+// Two field kinds compose:
+//   * a destination field — any FieldTuple whose `name` identifies the
+//     attraction (typically injected once by the attraction's own node);
+//   * presence fields — short-range FlockTuple-like fields each visitor
+//     injects (here: a hop-scoped GradientTuple named kPresenceField).
+//
+// Every control period the agent evaluates
+//     potential = hops(destination) + repulsion * Σ max(0, R - hops(v))
+// at itself and steers along the locally sensed downhill direction —
+// pure local sensing, global coordination, exactly the TOTA recipe.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tota/middleware.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota::apps {
+
+struct CrowdNavParams {
+  /// The attraction field to descend (its `name` content field).
+  std::string destination;
+  /// Crowd-avoidance radius in hops: presence fields matter within it.
+  int avoid_radius_hops = 2;
+  /// Relative weight of one nearby visitor vs. one hop of detour.
+  double repulsion = 1.5;
+  SimTime control_period = SimTime::from_millis(250);
+  double gain_mps = 4.0;
+  /// Stop once the destination reads at or below this many hops.
+  int arrive_hops = 0;
+};
+
+class CrowdNavigator {
+ public:
+  using Steer = std::function<void(Vec2)>;
+
+  static constexpr const char* kPresenceField = "crowd-presence";
+
+  CrowdNavigator(Middleware& mw, CrowdNavParams params, Steer steer);
+  ~CrowdNavigator();
+
+  CrowdNavigator(const CrowdNavigator&) = delete;
+  CrowdNavigator& operator=(const CrowdNavigator&) = delete;
+
+  /// Emits this visitor's presence field and starts steering.
+  void start();
+  void stop() { running_ = false; }
+
+  /// One sensing + steering step (scheduled periodically by start()).
+  void control_step();
+
+  /// Destination distance currently sensed here, if its field arrived.
+  [[nodiscard]] std::optional<int> destination_hops() const;
+
+  /// Number of *other* visitors whose presence reads within the
+  /// avoidance radius.
+  [[nodiscard]] int crowd_nearby() const;
+
+  [[nodiscard]] bool arrived() const;
+
+ private:
+  void schedule_next();
+
+  Middleware& mw_;
+  CrowdNavParams params_;
+  Steer steer_;
+  bool running_ = false;
+  bool started_ = false;
+};
+
+}  // namespace tota::apps

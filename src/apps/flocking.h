@@ -1,0 +1,71 @@
+// Motion coordination — flocking (paper §5.3, Fig. 3).
+//
+// Each agent injects a FlockTuple whose `val` field is minimal at the
+// target hop distance X; the middleware keeps these fields coherent as
+// agents move.  A FlockingController periodically senses the peers'
+// fields at its own node and steers downhill: too far from a peer
+// (hopcount > X) pulls toward it, too close pushes away.  With every
+// agent doing this, the group settles into "an almost regular grid
+// formation ... clustering in each other['s] val fields minima".
+//
+// Gradient direction: a node only knows field values at itself, so the
+// controller uses each field's source position (stamped in the tuple and
+// refreshed by the middleware's source re-evaluation) as the direction of
+// steepest descent — the same approximation the paper's emulator makes
+// with screen coordinates.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tota/middleware.h"
+#include "tuples/flock_tuple.h"
+
+namespace tota::apps {
+
+struct FlockingParams {
+  /// Preferred inter-agent distance X, in hops.
+  int target_hops = 1;
+  /// Field propagation scope; 0 = unbounded.  2–3× target keeps traffic
+  /// bounded while still attracting stragglers.
+  int field_scope = 4;
+  /// Control period: how often the agent re-reads fields and re-steers.
+  SimTime control_period = SimTime::from_millis(250);
+  /// Speed per unit of distance error, m/s; output is capped by the
+  /// node's mobility model.
+  double gain_mps = 4.0;
+};
+
+class FlockingController {
+ public:
+  /// `set_velocity` steers the agent (typically Network::set_velocity).
+  using Steer = std::function<void(Vec2)>;
+
+  FlockingController(Middleware& mw, FlockingParams params, Steer steer);
+  ~FlockingController();
+
+  FlockingController(const FlockingController&) = delete;
+  FlockingController& operator=(const FlockingController&) = delete;
+
+  /// Injects this agent's field and begins the control loop.
+  void start();
+  void stop() { running_ = false; }
+
+  /// One sensing+steering step; exposed for tests (start() schedules it
+  /// periodically).
+  void control_step();
+
+  /// Peers whose fields currently reach this agent.
+  [[nodiscard]] std::size_t visible_peers() const;
+
+ private:
+  Middleware& mw_;
+  FlockingParams params_;
+  Steer steer_;
+  bool running_ = false;
+  bool started_ = false;
+
+  void schedule_next();
+};
+
+}  // namespace tota::apps

@@ -1,0 +1,85 @@
+#include "apps/gathering.h"
+
+namespace tota::apps {
+
+InfoProvider::InfoProvider(Middleware& mw, std::string description)
+    : mw_(mw), description_(std::move(description)) {}
+
+InfoProvider::~InfoProvider() {
+  if (subscription_ != 0) mw_.unsubscribe(subscription_);
+}
+
+void InfoProvider::advertise(int scope) {
+  mw_.inject(std::make_unique<tuples::AdvertTuple>(description_, scope));
+}
+
+void InfoProvider::answer_queries(std::function<std::string()> value) {
+  value_ = std::move(value);
+  if (subscription_ != 0) return;
+  Pattern queries = Pattern::of_type(tuples::QueryTuple::kTag);
+  queries.eq("name", description_);
+  subscription_ = mw_.subscribe(
+      std::move(queries),
+      [this](const Event& event) {
+        const auto& query =
+            static_cast<const tuples::QueryTuple&>(*event.tuple);
+        if (query.home() == mw_.self()) return;  // own question
+        if (!answered_.insert(query.uid()).second) return;  // field update
+        ++queries_answered_;
+        mw_.inject(std::make_unique<tuples::AnswerTuple>(
+            query.home(), query.what(), value_ ? value_() : std::string{}));
+      },
+      static_cast<int>(EventKind::kTupleArrived));
+}
+
+InfoSeeker::InfoSeeker(Middleware& mw) : mw_(mw) {}
+
+InfoSeeker::~InfoSeeker() {
+  if (subscription_ != 0) mw_.unsubscribe(subscription_);
+}
+
+namespace {
+InfoSeeker::AdvertInfo to_info(const Tuple& tuple) {
+  const auto& advert = static_cast<const tuples::AdvertTuple&>(tuple);
+  return {advert.description(), advert.location(), advert.distance()};
+}
+}  // namespace
+
+std::vector<InfoSeeker::AdvertInfo> InfoSeeker::local_adverts() const {
+  std::vector<AdvertInfo> out;
+  for (const auto& tuple :
+       mw_.read(Pattern::of_type(tuples::AdvertTuple::kTag))) {
+    out.push_back(to_info(*tuple));
+  }
+  return out;
+}
+
+std::optional<InfoSeeker::AdvertInfo> InfoSeeker::find_advert(
+    const std::string& description) const {
+  Pattern pattern = Pattern::of_type(tuples::AdvertTuple::kTag);
+  pattern.eq("name", description);
+  const auto tuple = mw_.read_one(pattern);
+  if (!tuple) return std::nullopt;
+  return to_info(*tuple);
+}
+
+void InfoSeeker::query(const std::string& what, AnswerHandler on_answer,
+                       int scope) {
+  on_answer_ = std::move(on_answer);
+  if (subscription_ == 0) {
+    Pattern answers = Pattern::of_type(tuples::AnswerTuple::kTag);
+    answers.eq("receiver", mw_.self());
+    subscription_ = mw_.subscribe(
+        std::move(answers),
+        [this](const Event& event) {
+          const auto& answer =
+              static_cast<const tuples::AnswerTuple&>(*event.tuple);
+          ++answers_received_;
+          if (on_answer_) on_answer_(answer.payload());
+        },
+        static_cast<int>(EventKind::kTupleArrived));
+  }
+  mw_.inject(std::make_unique<tuples::QueryTuple>(what, scope));
+}
+
+}  // namespace tota::apps

@@ -1,0 +1,103 @@
+// Information gathering in a dynamic network (paper §5.2).
+//
+// Two symmetric roles:
+//
+//  * InfoProvider — an information node (e.g. a sensor).  Proactive mode
+//    advertises an AdvertTuple ("propagate a tuple having as content the
+//    information to be made available, as well as its location, and a
+//    value specifying the distance"); reactive mode subscribes to
+//    QueryTuple arrivals it can answer and responds with an AnswerTuple
+//    that descends the query's own field back to the enquirer.
+//
+//  * InfoSeeker — a user device.  It can scan its local tuple space for
+//    adverts (zero communication — the field already came to it), or
+//    inject a query and collect the answers as they arrive.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tota/middleware.h"
+#include "tuples/advert_tuple.h"
+#include "tuples/message_tuple.h"
+#include "tuples/query_tuple.h"
+
+namespace tota::apps {
+
+class InfoProvider {
+ public:
+  /// `description` is what this node offers ("temperature", …).
+  InfoProvider(Middleware& mw, std::string description);
+  ~InfoProvider();
+
+  InfoProvider(const InfoProvider&) = delete;
+  InfoProvider& operator=(const InfoProvider&) = delete;
+
+  /// Proactive: floods the advert field (scope in hops; unbounded covers
+  /// the whole network).
+  void advertise(int scope = tuples::FieldTuple::kUnbounded);
+
+  /// Reactive: answer queries matching this provider's description with
+  /// `value` (e.g. the current reading).  The value callback is consulted
+  /// per query.
+  void answer_queries(std::function<std::string()> value);
+
+  [[nodiscard]] std::uint64_t queries_answered() const {
+    return queries_answered_;
+  }
+
+ private:
+  Middleware& mw_;
+  std::string description_;
+  SubscriptionId subscription_ = 0;
+  std::function<std::string()> value_;
+  std::uint64_t queries_answered_ = 0;
+  /// Queries already answered; field updates re-fire arrival events and
+  /// must not trigger duplicate answers.
+  std::unordered_set<TupleUid> answered_;
+};
+
+class InfoSeeker {
+ public:
+  struct AdvertInfo {
+    std::string description;
+    Vec2 location;
+    int distance_hops;
+  };
+
+  /// Called per answer: (provider payload).
+  using AnswerHandler = std::function<void(const std::string&)>;
+
+  explicit InfoSeeker(Middleware& mw);
+  ~InfoSeeker();
+
+  InfoSeeker(const InfoSeeker&) = delete;
+  InfoSeeker& operator=(const InfoSeeker&) = delete;
+
+  /// Proactive harvesting: every advert currently visible at this node.
+  [[nodiscard]] std::vector<AdvertInfo> local_adverts() const;
+
+  /// Advert for `description`, if its field reaches this node.
+  [[nodiscard]] std::optional<AdvertInfo> find_advert(
+      const std::string& description) const;
+
+  /// Reactive: inject a query for `what`; `on_answer` fires per answer.
+  /// `scope` bounds the interest ring (the [RomJH02] "within 10 miles").
+  void query(const std::string& what, AnswerHandler on_answer,
+             int scope = tuples::FieldTuple::kUnbounded);
+
+  [[nodiscard]] std::uint64_t answers_received() const {
+    return answers_received_;
+  }
+
+ private:
+  Middleware& mw_;
+  SubscriptionId subscription_ = 0;
+  AnswerHandler on_answer_;
+  std::uint64_t answers_received_ = 0;
+};
+
+}  // namespace tota::apps

@@ -1,0 +1,56 @@
+// Meeting — Co-Fields-style rendezvous (paper §5.3's general motion
+// coordination, [Mam02]): a group of agents agrees to gather, each
+// injects a gradient field, and each descends the *sum* of the others'
+// fields.  The combined field's minimum sits between the participants,
+// so they converge toward each other and meet.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tota/middleware.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota::apps {
+
+struct MeetingParams {
+  /// Shared label distinguishing this meeting's fields from other tuples.
+  std::string meeting_name = "meeting";
+  int field_scope = tuples::FieldTuple::kUnbounded;
+  SimTime control_period = SimTime::from_millis(250);
+  double gain_mps = 3.0;
+  /// Stop moving once every visible peer is within this many hops.
+  int arrive_hops = 1;
+};
+
+class MeetingAgent {
+ public:
+  using Steer = std::function<void(Vec2)>;
+
+  MeetingAgent(Middleware& mw, MeetingParams params, Steer steer);
+  ~MeetingAgent();
+
+  MeetingAgent(const MeetingAgent&) = delete;
+  MeetingAgent& operator=(const MeetingAgent&) = delete;
+
+  void start();
+  void stop() { running_ = false; }
+
+  void control_step();
+
+  /// True when every peer field visible here reads <= arrive_hops.
+  [[nodiscard]] bool arrived() const;
+
+ private:
+  [[nodiscard]] Pattern peer_fields() const;
+
+  Middleware& mw_;
+  MeetingParams params_;
+  Steer steer_;
+  bool running_ = false;
+  bool started_ = false;
+
+  void schedule_next();
+};
+
+}  // namespace tota::apps

@@ -1,0 +1,36 @@
+#include "apps/routing.h"
+
+namespace tota::apps {
+
+RoutingService::RoutingService(Middleware& mw, Handler handler)
+    : mw_(mw), handler_(std::move(handler)) {
+  // React to message tuples addressed to this node.  The arrival event
+  // fires on relays too (pass-through), so the pattern pins the receiver.
+  Pattern to_me = Pattern::of_type(tuples::MessageTuple::kTag);
+  to_me.eq("receiver", mw_.self());
+  subscription_ = mw_.subscribe(
+      std::move(to_me),
+      [this](const Event& event) {
+        const auto& msg = static_cast<const tuples::MessageTuple&>(
+            *event.tuple);
+        ++delivered_;
+        if (handler_) handler_(msg.sender(), msg.payload());
+      },
+      static_cast<int>(EventKind::kTupleArrived));
+}
+
+RoutingService::~RoutingService() { mw_.unsubscribe(subscription_); }
+
+void RoutingService::advertise(int scope) {
+  if (advertised_) return;
+  advertised_ = true;
+  mw_.inject(std::make_unique<tuples::GradientTuple>(kStructureName, scope));
+}
+
+void RoutingService::send(NodeId dest, std::string payload) {
+  ++sent_;
+  mw_.inject(std::make_unique<tuples::MessageTuple>(dest, std::move(payload),
+                                                    kStructureName));
+}
+
+}  // namespace tota::apps

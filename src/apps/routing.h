@@ -1,0 +1,57 @@
+// Routing on mobile ad-hoc networks (paper §5.1), as an application over
+// the TOTA API.
+//
+// A node that wants to be reachable advertises a routing structure (a
+// GradientTuple); senders inject MessageTuples that descend the structure
+// or flood where none exists — "this model captures the basic underl[y]ing
+// model of several different MANET routing protocols".
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tota/middleware.h"
+#include "tuples/gradient_tuple.h"
+#include "tuples/message_tuple.h"
+
+namespace tota::apps {
+
+class RoutingService {
+ public:
+  /// Called on delivery: (sender, payload).
+  using Handler = std::function<void(NodeId, const std::string&)>;
+
+  /// Wires the service to a node's middleware; `handler` fires for every
+  /// message addressed to this node.
+  RoutingService(Middleware& mw, Handler handler);
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Publishes this node's routing structure (the "structure" tuple).
+  /// Safe to call once; the middleware keeps the overlay coherent under
+  /// mobility afterwards.  `scope` bounds the overlay radius in hops.
+  void advertise(int scope = tuples::FieldTuple::kUnbounded);
+
+  /// Sends `payload` to `dest`: downhill along dest's structure where it
+  /// exists, flooding elsewhere.
+  void send(NodeId dest, std::string payload);
+
+  [[nodiscard]] bool advertised() const { return advertised_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+  /// The structure name this service publishes/descends.
+  static constexpr const char* kStructureName = "structure";
+
+ private:
+  Middleware& mw_;
+  Handler handler_;
+  SubscriptionId subscription_ = 0;
+  bool advertised_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace tota::apps

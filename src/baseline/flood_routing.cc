@@ -1,0 +1,30 @@
+#include "baseline/flood_routing.h"
+
+namespace tota::baseline {
+
+FloodRoutingService::FloodRoutingService(Middleware& mw, Handler handler)
+    : mw_(mw), handler_(std::move(handler)) {
+  Pattern to_me = Pattern::of_type(tuples::MessageTuple::kTag);
+  to_me.eq("receiver", mw_.self());
+  subscription_ = mw_.subscribe(
+      std::move(to_me),
+      [this](const Event& event) {
+        const auto& msg =
+            static_cast<const tuples::MessageTuple&>(*event.tuple);
+        ++delivered_;
+        if (handler_) handler_(msg.sender(), msg.payload());
+      },
+      static_cast<int>(EventKind::kTupleArrived));
+}
+
+FloodRoutingService::~FloodRoutingService() {
+  mw_.unsubscribe(subscription_);
+}
+
+void FloodRoutingService::send(NodeId dest, std::string payload) {
+  ++sent_;
+  mw_.inject(std::make_unique<tuples::MessageTuple>(dest, std::move(payload),
+                                                    kNoStructure));
+}
+
+}  // namespace tota::baseline

@@ -1,0 +1,46 @@
+// Pure-flooding message delivery — the baseline of paper §5.1.
+//
+// "In all situations in which such information is absent, the routing
+// simply reduces to flooding the network."  This service *always* routes
+// in that degenerate mode: it never advertises a structure and its
+// messages descend a structure name nobody publishes, so every send is a
+// network-wide flood.  Benchmarks compare its transmission cost against
+// RoutingService's gradient descent.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tota/middleware.h"
+#include "tuples/message_tuple.h"
+
+namespace tota::baseline {
+
+class FloodRoutingService {
+ public:
+  using Handler = std::function<void(NodeId, const std::string&)>;
+
+  FloodRoutingService(Middleware& mw, Handler handler);
+  ~FloodRoutingService();
+
+  FloodRoutingService(const FloodRoutingService&) = delete;
+  FloodRoutingService& operator=(const FloodRoutingService&) = delete;
+
+  /// Sends `payload` to `dest` by flooding.
+  void send(NodeId dest, std::string payload);
+
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  /// A structure name no node ever publishes: guarantees flood mode.
+  static constexpr const char* kNoStructure = "__flood_baseline__";
+
+  Middleware& mw_;
+  Handler handler_;
+  SubscriptionId subscription_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace tota::baseline

@@ -1,0 +1,30 @@
+#include "baseline/local_space.h"
+
+namespace tota::baseline {
+
+void LocalSpace::share(const std::string& name, wire::Value value) {
+  auto tuple = std::make_unique<tuples::GradientTuple>(name, /*scope=*/1);
+  tuple->content().set("kind", kTagField).set("value", std::move(value));
+  mw_.inject(std::move(tuple));
+}
+
+std::vector<LocalSpace::SharedDatum> LocalSpace::visible() const {
+  Pattern shared = Pattern::of_type(tuples::GradientTuple::kTag);
+  shared.eq("kind", kTagField);
+  std::vector<SharedDatum> out;
+  for (const auto& tuple : mw_.read(shared)) {
+    const auto& field = static_cast<const tuples::GradientTuple&>(*tuple);
+    out.push_back({field.name(), field.content().at("value"), field.source()});
+  }
+  return out;
+}
+
+std::optional<wire::Value> LocalSpace::lookup(const std::string& name) const {
+  Pattern shared = Pattern::of_type(tuples::GradientTuple::kTag);
+  shared.eq("kind", kTagField).eq("name", name);
+  const auto tuple = mw_.read_one(shared);
+  if (!tuple) return std::nullopt;
+  return tuple->content().at("value");
+}
+
+}  // namespace tota::baseline

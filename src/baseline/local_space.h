@@ -1,0 +1,52 @@
+// Lime-style locally-shared tuple space, expressed in TOTA.
+//
+// Lime / XMIDDLE merge privately-owned data spaces between directly
+// connected devices; the paper notes the acquired information "is
+// typically strictly local … and is of no support in acquiring a more
+// global perspective".  TOTA subsumes the pattern: a shared tuple is just
+// a field with scope 1 — the middleware's maintenance machinery then
+// *is* the engagement/disengagement protocol (share on contact, withdraw
+// on departure).
+//
+// Benchmarks use this to show the locality limitation: a seeker finds a
+// LocalSpace datum only when standing next to its owner, while a TOTA
+// advert field reaches it anywhere in the connected network.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tota/middleware.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota::baseline {
+
+class LocalSpace {
+ public:
+  explicit LocalSpace(Middleware& mw) : mw_(mw) {}
+
+  /// Publishes (name, value) to this node and its *direct* neighbours,
+  /// present and future — the Lime "merge on connection".
+  void share(const std::string& name, wire::Value value);
+
+  struct SharedDatum {
+    std::string name;
+    wire::Value value;
+    NodeId owner;
+  };
+
+  /// Everything shared by this node or a currently-connected neighbour.
+  [[nodiscard]] std::vector<SharedDatum> visible() const;
+
+  /// The value for `name`, if some engaged device shares it.
+  [[nodiscard]] std::optional<wire::Value> lookup(
+      const std::string& name) const;
+
+ private:
+  static constexpr const char* kTagField = "lime.shared";
+
+  Middleware& mw_;
+};
+
+}  // namespace tota::baseline

@@ -1,0 +1,55 @@
+// Simulated-time types.
+//
+// The discrete-event simulator advances a virtual clock measured in
+// microseconds.  Using an integral representation keeps event ordering
+// exact (no floating-point ties) and makes runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tota {
+
+/// A point in simulated time, in microseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e3));
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double seconds() const { return micros_ * 1e-6; }
+  [[nodiscard]] constexpr double millis() const { return micros_ * 1e-3; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime other) const {
+    return SimTime(micros_ + other.micros_);
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    return SimTime(micros_ - other.micros_);
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr SimTime operator*(double k) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(micros_) * k));
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.seconds()) + "s";
+}
+
+}  // namespace tota

@@ -1,0 +1,18 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tota {
+
+Vec2 Rect::clamp(Vec2 p) const {
+  return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+}
+
+std::string to_string(Vec2 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.2f, %.2f)", v.x, v.y);
+  return buf;
+}
+
+}  // namespace tota

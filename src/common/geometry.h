@@ -1,0 +1,66 @@
+// Minimal 2-D geometry for node positions, radio ranges and mobility.
+//
+// The paper grounds tuple propagation in physical space ("a tuple to be
+// propagated, say, at most for 10 meters from its source"); positions are
+// metres in a flat 2-D arena.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace tota {
+
+/// A 2-D point / vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+inline double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// Axis-aligned rectangle, used for arena bounds.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] double width() const { return max.x - min.x; }
+  [[nodiscard]] double height() const { return max.y - min.y; }
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Clamps p into the rectangle.
+  [[nodiscard]] Vec2 clamp(Vec2 p) const;
+};
+
+std::string to_string(Vec2 v);
+
+}  // namespace tota

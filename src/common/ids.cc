@@ -1,0 +1,12 @@
+#include "common/ids.h"
+
+namespace tota {
+
+std::string to_string(NodeId id) { return "node:" + std::to_string(id.value()); }
+
+std::string to_string(const TupleUid& uid) {
+  return "tuple:" + std::to_string(uid.origin().value()) + "/" +
+         std::to_string(uid.sequence());
+}
+
+}  // namespace tota

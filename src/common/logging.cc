@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace tota {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace tota

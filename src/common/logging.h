@@ -1,0 +1,66 @@
+// Tiny levelled logger.
+//
+// Benchmarks run with the logger disabled (kOff); tests that want to
+// assert on diagnostics can install a capture sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tota {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration.  Not thread-safe by design: the simulator is
+/// single-threaded (one deterministic event loop).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default: stderr).  Pass nullptr to restore
+  /// the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace tota
+
+#define TOTA_LOG(level)                        \
+  if (::tota::Log::level() > (level)) {        \
+  } else                                       \
+    ::tota::detail::LogLine(level)
+
+#define TOTA_TRACE() TOTA_LOG(::tota::LogLevel::kTrace)
+#define TOTA_DEBUG() TOTA_LOG(::tota::LogLevel::kDebug)
+#define TOTA_INFO() TOTA_LOG(::tota::LogLevel::kInfo)
+#define TOTA_WARN() TOTA_LOG(::tota::LogLevel::kWarn)
+#define TOTA_ERROR() TOTA_LOG(::tota::LogLevel::kError)

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every source of randomness in the repository flows through an explicitly
+// seeded Rng so that experiments and tests are bit-for-bit reproducible.
+// The generator is xoshiro256** seeded via SplitMix64, which is fast,
+// high-quality, and has a tiny state compared to std::mt19937_64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tota {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).  Satisfies the
+/// UniformRandomBitGenerator requirements so it can be used with <random>
+/// distributions when needed, but the common cases are provided as methods.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit value via SplitMix64 so that
+  /// nearby seeds produce unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal deviate (Box-Muller, cached pair).
+  double normal();
+
+  /// Exponential deviate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// node its own stream while keeping a single experiment seed.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace tota

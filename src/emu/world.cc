@@ -1,0 +1,96 @@
+#include "emu/world.h"
+
+#include <stdexcept>
+
+#include "tuples/all.h"
+
+namespace tota::emu {
+
+namespace {
+
+/// Forwards the simulator's upcalls to the node's middleware.
+class HostAdapter final : public sim::Host {
+ public:
+  explicit HostAdapter(Middleware& mw) : mw_(mw) {}
+
+  void on_datagram(NodeId from,
+                   std::span<const std::uint8_t> payload) override {
+    mw_.on_datagram(from, payload);
+  }
+  void on_neighbor_up(NodeId neighbor) override {
+    mw_.on_neighbor_up(neighbor);
+  }
+  void on_neighbor_down(NodeId neighbor) override {
+    mw_.on_neighbor_down(neighbor);
+  }
+
+ private:
+  Middleware& mw_;
+};
+
+}  // namespace
+
+World::World(Options options) : net_(options.net), options_(options) {
+  tuples::register_standard_tuples();
+}
+
+NodeId World::spawn(Vec2 position,
+                    std::unique_ptr<sim::MobilityModel> mobility) {
+  const NodeId id = net_.add_node(position, std::move(mobility));
+  NodeCell cell;
+  cell.platform = std::make_unique<SimPlatform>(net_, id);
+  cell.middleware =
+      std::make_unique<Middleware>(id, *cell.platform, options_.maintenance);
+  cell.adapter = std::make_unique<HostAdapter>(*cell.middleware);
+  net_.attach(id, cell.adapter.get());
+  cells_.emplace(id, std::move(cell));
+  return id;
+}
+
+std::vector<NodeId> World::spawn_grid(int rows, int cols, double spacing,
+                                      Vec2 origin) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ids.push_back(spawn(
+          {origin.x + spacing * static_cast<double>(c),
+           origin.y + spacing * static_cast<double>(r)}));
+    }
+  }
+  return ids;
+}
+
+std::vector<NodeId> World::spawn_random(
+    int n, Rect arena,
+    const std::function<std::unique_ptr<sim::MobilityModel>(Rng&)>&
+        mobility_factory) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Vec2 pos{net_.rng().uniform(arena.min.x, arena.max.x),
+                   net_.rng().uniform(arena.min.y, arena.max.y)};
+    ids.push_back(
+        spawn(pos, mobility_factory ? mobility_factory(net_.rng()) : nullptr));
+  }
+  return ids;
+}
+
+void World::despawn(NodeId id) {
+  net_.remove_node(id);
+  cells_.erase(id);  // SimPlatform dtor disarms the node's pending timers
+}
+
+Middleware& World::mw(NodeId id) {
+  const auto it = cells_.find(id);
+  if (it == cells_.end()) throw std::invalid_argument("unknown node");
+  return *it->second.middleware;
+}
+
+const Middleware& World::mw(NodeId id) const {
+  const auto it = cells_.find(id);
+  if (it == cells_.end()) throw std::invalid_argument("unknown node");
+  return *it->second.middleware;
+}
+
+}  // namespace tota::emu

@@ -1,0 +1,79 @@
+// World — the headless emulator (paper §4.2).
+//
+// "Since the effective testing of TOTA would require a larger number of
+// devices, we have implemented a graphic emulator to analyze TOTA behavior
+// in presence of hundreds of nodes."  This is that emulator, headless and
+// deterministic: it owns a simulated network and one full TOTA middleware
+// per node, plus scenario builders (grids, random deployments, churn) and
+// the drag-and-drop equivalent (scripted waypoints / teleports).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+#include "tota/middleware.h"
+#include "emu/sim_platform.h"
+
+namespace tota::emu {
+
+class World {
+ public:
+  struct Options {
+    sim::NetworkParams net;
+    MaintenanceOptions maintenance;
+  };
+
+  explicit World(Options options = {});
+
+  // --- population -----------------------------------------------------------
+
+  /// Creates a node + middleware at `position`.
+  NodeId spawn(Vec2 position,
+               std::unique_ptr<sim::MobilityModel> mobility = nullptr);
+
+  /// rows × cols grid with the given spacing, anchored at `origin`.
+  /// Spacing at or below the radio range yields a connected 8/4-neighbour
+  /// mesh.
+  std::vector<NodeId> spawn_grid(int rows, int cols, double spacing,
+                                 Vec2 origin = {});
+
+  /// `n` nodes uniformly random in `arena`; `mobility_factory` (optional)
+  /// builds each node's mobility model.
+  std::vector<NodeId> spawn_random(
+      int n, Rect arena,
+      const std::function<std::unique_ptr<sim::MobilityModel>(Rng&)>&
+          mobility_factory = nullptr);
+
+  /// Tears the node down (crash/leave — neighbours just see link loss).
+  void despawn(NodeId id);
+
+  // --- access ------------------------------------------------------------------
+
+  [[nodiscard]] Middleware& mw(NodeId id);
+  [[nodiscard]] const Middleware& mw(NodeId id) const;
+  [[nodiscard]] sim::Network& net() { return net_; }
+  [[nodiscard]] const sim::Network& net() const { return net_; }
+  [[nodiscard]] std::vector<NodeId> nodes() const { return net_.nodes(); }
+
+  // --- time ---------------------------------------------------------------------
+
+  [[nodiscard]] SimTime now() const { return net_.now(); }
+  void run_for(SimTime duration) { net_.run_for(duration); }
+  void run_until(SimTime deadline) { net_.run_until(deadline); }
+
+ private:
+  struct NodeCell {
+    std::unique_ptr<SimPlatform> platform;
+    std::unique_ptr<Middleware> middleware;
+    std::unique_ptr<sim::Host> adapter;
+  };
+
+  sim::Network net_;
+  Options options_;
+  std::unordered_map<NodeId, NodeCell> cells_;
+};
+
+}  // namespace tota::emu

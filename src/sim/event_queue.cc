@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tota::sim {
+
+EventId EventQueue::schedule_at(SimTime when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("cannot schedule event in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+EventId EventQueue::schedule_after(SimTime delay, Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void EventQueue::cancel(EventId id) {
+  if (actions_.erase(id) > 0) --live_count_;
+}
+
+bool EventQueue::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(top.id);
+    if (it == actions_.end()) continue;  // cancelled
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    --live_count_;
+    now_ = top.when;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    if (actions_.find(queue_.top().id) == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace tota::sim

@@ -1,0 +1,68 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+
+namespace tota::sim {
+
+RandomWaypoint::RandomWaypoint(Rect arena, double min_speed_mps,
+                               double max_speed_mps, SimTime pause)
+    : arena_(arena),
+      min_speed_(min_speed_mps),
+      max_speed_(max_speed_mps),
+      pause_(pause),
+      pause_left_(SimTime::zero()) {}
+
+Vec2 RandomWaypoint::step(Vec2 current, SimTime dt, Rng& rng) {
+  double seconds = dt.seconds();
+  while (seconds > 0.0) {
+    if (pause_left_ > SimTime::zero()) {
+      const double pause_s = std::min(seconds, pause_left_.seconds());
+      pause_left_ = pause_left_ - SimTime::from_seconds(pause_s);
+      seconds -= pause_s;
+      continue;
+    }
+    if (!target_) {
+      target_ = Vec2{rng.uniform(arena_.min.x, arena_.max.x),
+                     rng.uniform(arena_.min.y, arena_.max.y)};
+      speed_ = rng.uniform(min_speed_, max_speed_);
+    }
+    const Vec2 to_target = *target_ - current;
+    const double dist = to_target.norm();
+    const double reach = speed_ * seconds;
+    if (reach >= dist) {
+      current = *target_;
+      target_.reset();
+      pause_left_ = pause_;
+      seconds -= speed_ > 0.0 ? dist / speed_ : seconds;
+      if (speed_ <= 0.0) break;
+      continue;
+    }
+    current += to_target.normalized() * reach;
+    break;
+  }
+  return arena_.clamp(current);
+}
+
+Vec2 WaypointTo::step(Vec2 current, SimTime dt, Rng&) {
+  if (!target_) return current;
+  const Vec2 to_target = *target_ - current;
+  const double dist = to_target.norm();
+  const double reach = speed_ * dt.seconds();
+  if (reach >= dist) {
+    current = *target_;
+    target_.reset();
+    return current;
+  }
+  return current + to_target.normalized() * reach;
+}
+
+void VelocityMobility::set_velocity(Vec2 v) {
+  const double n = v.norm();
+  velocity_ = n > max_speed_ ? v.normalized() * max_speed_ : v;
+}
+
+Vec2 VelocityMobility::step(Vec2 current, SimTime dt, Rng&) {
+  return arena_.clamp(current + velocity_ * dt.seconds());
+}
+
+}  // namespace tota::sim

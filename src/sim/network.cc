@@ -1,0 +1,180 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace tota::sim {
+
+Network::Network(NetworkParams params)
+    : params_(params),
+      rng_(params.seed),
+      topology_(params.radio.range_m, params.wired
+                                          ? Topology::Mode::kExplicit
+                                          : Topology::Mode::kDisc),
+      radio_(params.radio) {}
+
+NodeId Network::add_node(Vec2 position,
+                         std::unique_ptr<MobilityModel> mobility) {
+  const NodeId id{next_node_++};
+  topology_.add(id, position);
+  NodeState state;
+  state.mobility = std::move(mobility);
+  nodes_.emplace(id, std::move(state));
+  if (nodes_.at(id).mobility && !mobility_scheduled_) {
+    mobility_scheduled_ = true;
+    events_.schedule_after(params_.mobility_tick, [this] { mobility_tick(); });
+  }
+  refresh_links();
+  return id;
+}
+
+void Network::attach(NodeId id, Host* host) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::invalid_argument("unknown node id");
+  it->second.host = host;
+}
+
+void Network::detach(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.host = nullptr;
+}
+
+void Network::remove_node(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  topology_.remove(id);
+  // Neighbours observe the link loss; the departed node itself gets no
+  // further upcalls.
+  it->second.host = nullptr;
+  it->second.neighbors.clear();
+  nodes_.erase(it);
+  refresh_links();
+}
+
+void Network::move_node(NodeId id, Vec2 position) {
+  topology_.move(id, position);
+  refresh_links();
+}
+
+void Network::connect(NodeId a, NodeId b) {
+  topology_.add_link(a, b);
+  refresh_links();
+}
+
+void Network::disconnect(NodeId a, NodeId b) {
+  topology_.remove_link(a, b);
+  refresh_links();
+}
+
+void Network::set_velocity(NodeId id, Vec2 velocity) {
+  auto* model = dynamic_cast<VelocityMobility*>(mobility(id));
+  if (model == nullptr) {
+    throw std::invalid_argument("node has no VelocityMobility model");
+  }
+  model->set_velocity(velocity);
+}
+
+MobilityModel* Network::mobility(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::invalid_argument("unknown node id");
+  return it->second.mobility.get();
+}
+
+void Network::broadcast(NodeId from, wire::Bytes payload) {
+  if (!topology_.contains(from)) return;  // sender died mid-flight
+  counters_.add("radio.tx");
+  counters_.add("radio.tx_bytes", static_cast<std::int64_t>(payload.size()));
+  const auto receivers = topology_.neighbors(from);
+  // One shared payload for all receivers of this frame.
+  auto shared = std::make_shared<const wire::Bytes>(std::move(payload));
+  for (const NodeId to : receivers) {
+    if (!radio_.delivered(rng_)) {
+      counters_.add("radio.lost");
+      continue;
+    }
+    const SimTime delay = radio_.delay(rng_, shared->size());
+    events_.schedule_after(delay, [this, from, to, shared] {
+      const auto it = nodes_.find(to);
+      if (it == nodes_.end() || it->second.host == nullptr) return;
+      counters_.add("radio.rx");
+      it->second.host->on_datagram(from, *shared);
+    });
+  }
+}
+
+void Network::run_until(SimTime deadline) { events_.run_until(deadline); }
+
+std::vector<NodeId> Network::notified_neighbors(NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return {};
+  std::vector<NodeId> out(it->second.neighbors.begin(),
+                          it->second.neighbors.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::notify_link(NodeId node, NodeId neighbor, bool up) {
+  events_.schedule_after(params_.link_detect_delay,
+                         [this, node, neighbor, up] {
+                           const auto it = nodes_.find(node);
+                           if (it == nodes_.end() || it->second.host == nullptr)
+                             return;
+                           if (up) {
+                             it->second.host->on_neighbor_up(neighbor);
+                           } else {
+                             it->second.host->on_neighbor_down(neighbor);
+                           }
+                         });
+}
+
+void Network::refresh_links() {
+  // Deterministic order: sorted node ids.
+  for (const NodeId id : topology_.nodes()) {
+    auto& state = nodes_.at(id);
+    const auto current_vec = topology_.neighbors(id);
+    const std::unordered_set<NodeId> current(current_vec.begin(),
+                                             current_vec.end());
+    // Departed links first, then new ones, each in sorted order.
+    std::vector<NodeId> downs;
+    for (const NodeId old : state.neighbors) {
+      if (!current.count(old)) downs.push_back(old);
+    }
+    std::sort(downs.begin(), downs.end());
+    for (const NodeId old : downs) {
+      state.neighbors.erase(old);
+      counters_.add("link.down");
+      notify_link(id, old, /*up=*/false);
+    }
+    for (const NodeId fresh : current_vec) {  // already sorted
+      if (!state.neighbors.count(fresh)) {
+        state.neighbors.insert(fresh);
+        counters_.add("link.up");
+        notify_link(id, fresh, /*up=*/true);
+      }
+    }
+  }
+  // Nodes that left the topology entirely were handled in remove_node;
+  // their ids are gone from nodes_ too, but other nodes' stale references
+  // to them are cleared by the loop above.
+}
+
+void Network::mobility_tick() {
+  bool moved = false;
+  for (const NodeId id : topology_.nodes()) {
+    auto& state = nodes_.at(id);
+    if (!state.mobility) continue;
+    const Vec2 before = topology_.position(id);
+    const Vec2 after = state.mobility->step(before, params_.mobility_tick,
+                                            rng_);
+    if (!(after == before)) {
+      topology_.move(id, after);
+      moved = true;
+    }
+  }
+  if (moved) refresh_links();
+  events_.schedule_after(params_.mobility_tick, [this] { mobility_tick(); });
+}
+
+}  // namespace tota::sim

@@ -1,0 +1,4 @@
+#include "sim/radio.h"
+
+// Radio is header-only today; this TU anchors the library target and keeps
+// room for richer propagation models (log-normal shadowing) later.

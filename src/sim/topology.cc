@@ -1,0 +1,152 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace tota::sim {
+
+Topology::CellKey Topology::cell_of(Vec2 p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / range_)),
+          static_cast<std::int64_t>(std::floor(p.y / range_))};
+}
+
+void Topology::index(NodeId id, Vec2 p) { grid_[cell_of(p)].push_back(id); }
+
+void Topology::unindex(NodeId id, Vec2 p) {
+  auto it = grid_.find(cell_of(p));
+  if (it == grid_.end()) return;
+  auto& cell = it->second;
+  cell.erase(std::remove(cell.begin(), cell.end(), id), cell.end());
+  if (cell.empty()) grid_.erase(it);
+}
+
+void Topology::add(NodeId id, Vec2 position) {
+  if (contains(id)) throw std::invalid_argument("duplicate node id");
+  positions_.emplace(id, position);
+  index(id, position);
+}
+
+void Topology::remove(NodeId id) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  unindex(id, it->second);
+  positions_.erase(it);
+  const auto links = links_.find(id);
+  if (links != links_.end()) {
+    for (const NodeId other : links->second) links_[other].erase(id);
+    links_.erase(links);
+  }
+}
+
+void Topology::add_link(NodeId a, NodeId b) {
+  if (mode_ != Mode::kExplicit) {
+    throw std::logic_error("add_link requires explicit topology mode");
+  }
+  if (!contains(a) || !contains(b)) {
+    throw std::invalid_argument("unknown node id");
+  }
+  if (a == b) throw std::invalid_argument("self links are not allowed");
+  links_[a].insert(b);
+  links_[b].insert(a);
+}
+
+void Topology::remove_link(NodeId a, NodeId b) {
+  if (mode_ != Mode::kExplicit) {
+    throw std::logic_error("remove_link requires explicit topology mode");
+  }
+  const auto it = links_.find(a);
+  if (it != links_.end()) it->second.erase(b);
+  const auto jt = links_.find(b);
+  if (jt != links_.end()) jt->second.erase(a);
+}
+
+void Topology::move(NodeId id, Vec2 position) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) throw std::invalid_argument("unknown node id");
+  if (cell_of(it->second) != cell_of(position)) {
+    unindex(id, it->second);
+    index(id, position);
+  }
+  it->second = position;
+}
+
+Vec2 Topology::position(NodeId id) const {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) throw std::invalid_argument("unknown node id");
+  return it->second;
+}
+
+std::vector<NodeId> Topology::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(positions_.size());
+  for (const auto& [id, _] : positions_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Topology::in_range(Vec2 point) const {
+  std::vector<NodeId> out;
+  const CellKey c = cell_of(point);
+  const double r2 = range_ * range_;
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(CellKey{c.cx + dx, c.cy + dy});
+      if (it == grid_.end()) continue;
+      for (const NodeId other : it->second) {
+        if (distance_sq(positions_.at(other), point) <= r2) {
+          out.push_back(other);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  if (mode_ == Mode::kExplicit) {
+    if (!contains(id)) throw std::invalid_argument("unknown node id");
+    const auto it = links_.find(id);
+    if (it == links_.end()) return {};
+    std::vector<NodeId> out(it->second.begin(), it->second.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  auto out = in_range(position(id));
+  out.erase(std::remove(out.begin(), out.end(), id), out.end());
+  return out;
+}
+
+std::unordered_map<NodeId, int> Topology::hop_distances(NodeId from) const {
+  std::unordered_map<NodeId, int> dist;
+  if (!contains(from)) return dist;
+  std::deque<NodeId> frontier{from};
+  dist[from] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : neighbors(cur)) {
+      if (dist.count(next)) continue;
+      dist[next] = dist[cur] + 1;
+      frontier.push_back(next);
+    }
+  }
+  return dist;
+}
+
+std::optional<int> Topology::hop_distance(NodeId from, NodeId to) const {
+  const auto dist = hop_distances(from);
+  const auto it = dist.find(to);
+  if (it == dist.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Topology::connected() const {
+  if (positions_.empty()) return true;
+  const NodeId first = positions_.begin()->first;
+  return hop_distances(first).size() == positions_.size();
+}
+
+}  // namespace tota::sim

@@ -1,0 +1,94 @@
+// Topology: node positions and disc-graph neighbourhoods.
+//
+// Keeps per-node positions and computes the neighbour sets induced by the
+// radio range.  Recomputation uses a uniform grid hash with cell size equal
+// to the range, so each query touches only the 9 surrounding cells.
+// Ground-truth graph queries (BFS hop distance, connectivity) live here
+// too: tests and benchmarks compare TOTA's distributed structures against
+// these oracle values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+
+namespace tota::sim {
+
+class Topology {
+ public:
+  /// Neighbourhood semantics (paper §4.1): in an ad-hoc network the
+  /// neighbourhood is "the range of the wireless link" (kDisc); "in a
+  /// wired scenario like the Internet" it is addressability — an explicit
+  /// set of links managed by add_link/remove_link (kExplicit).
+  enum class Mode { kDisc, kExplicit };
+
+  explicit Topology(double range_m, Mode mode = Mode::kDisc)
+      : range_(range_m), mode_(mode) {}
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  void add(NodeId id, Vec2 position);
+  void remove(NodeId id);
+  void move(NodeId id, Vec2 position);
+
+  /// Explicit-mode link management; symmetric, idempotent.  Throws in
+  /// disc mode or for unknown nodes.
+  void add_link(NodeId a, NodeId b);
+  void remove_link(NodeId a, NodeId b);
+
+  [[nodiscard]] bool contains(NodeId id) const {
+    return positions_.count(id) > 0;
+  }
+  [[nodiscard]] Vec2 position(NodeId id) const;
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] double range() const { return range_; }
+
+  /// Nodes within radio range of `id` (excluding `id`), sorted by id for
+  /// determinism.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Nodes within radio range of an arbitrary point.
+  [[nodiscard]] std::vector<NodeId> in_range(Vec2 point) const;
+
+  /// Oracle: minimum hop count from `from` to `to` over the disc graph;
+  /// nullopt when disconnected.
+  [[nodiscard]] std::optional<int> hop_distance(NodeId from, NodeId to) const;
+
+  /// Oracle: hop distance from `from` to every reachable node.
+  [[nodiscard]] std::unordered_map<NodeId, int> hop_distances(
+      NodeId from) const;
+
+  /// Oracle: true when every node is reachable from every other.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    friend bool operator==(CellKey, CellKey) = default;
+  };
+  struct CellHash {
+    std::size_t operator()(CellKey k) const {
+      return std::hash<std::int64_t>{}(k.cx * 73856093 ^ k.cy * 19349663);
+    }
+  };
+
+  [[nodiscard]] CellKey cell_of(Vec2 p) const;
+  void unindex(NodeId id, Vec2 p);
+  void index(NodeId id, Vec2 p);
+
+  double range_;
+  Mode mode_;
+  std::unordered_map<NodeId, Vec2> positions_;
+  std::unordered_map<CellKey, std::vector<NodeId>, CellHash> grid_;
+  /// Explicit-mode adjacency.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> links_;
+};
+
+}  // namespace tota::sim

@@ -1,0 +1,29 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace tota::sim {
+
+void Trace::record(SimTime time, std::string kind, NodeId node, double value,
+                   std::string detail) {
+  rows_.push_back(
+      {time, std::move(kind), node, value, std::move(detail)});
+}
+
+std::size_t Trace::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (row.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Trace::write_csv(std::ostream& out) const {
+  out << "time_s,kind,node,value,detail\n";
+  for (const auto& row : rows_) {
+    out << row.time.seconds() << ',' << row.kind << ',' << row.node.value()
+        << ',' << row.value << ',' << row.detail << '\n';
+  }
+}
+
+}  // namespace tota::sim

@@ -1,0 +1,41 @@
+// Experiment trace: timestamped rows exported as CSV.
+//
+// Benches use a Trace to record per-event measurements (delivery latency,
+// repair time, formation error) and dump them for EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace tota::sim {
+
+class Trace {
+ public:
+  struct Row {
+    SimTime time;
+    std::string kind;
+    NodeId node;
+    double value;
+    std::string detail;
+  };
+
+  void record(SimTime time, std::string kind, NodeId node, double value,
+              std::string detail = {});
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+
+  /// Writes "time_s,kind,node,value,detail" rows.
+  void write_csv(std::ostream& out) const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace tota::sim

@@ -1,0 +1,117 @@
+#include "tota/access.h"
+
+#include <algorithm>
+
+namespace tota {
+
+const char* to_string(AccessOp op) {
+  switch (op) {
+    case AccessOp::kObserve:
+      return "observe";
+    case AccessOp::kExtract:
+      return "extract";
+    case AccessOp::kHost:
+      return "host";
+  }
+  return "?";
+}
+
+bool AccessGrant::permits(NodeId owner, NodeId requester) const {
+  switch (scope) {
+    case AccessScope::kEveryone:
+      return true;
+    case AccessScope::kOwnerOnly:
+      return requester == owner;
+    case AccessScope::kList:
+      return requester == owner ||
+             std::find(allowed.begin(), allowed.end(), requester) !=
+                 allowed.end();
+  }
+  return false;
+}
+
+void AccessGrant::encode(wire::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(scope));
+  if (scope == AccessScope::kList) {
+    w.uvarint(allowed.size());
+    for (const NodeId n : allowed) w.uvarint(n.value());
+  }
+}
+
+AccessGrant AccessGrant::decode(wire::Reader& r) {
+  AccessGrant g;
+  const auto scope = r.u8();
+  if (scope > 2) throw wire::DecodeError("bad access scope");
+  g.scope = static_cast<AccessScope>(scope);
+  if (g.scope == AccessScope::kList) {
+    const auto n = r.uvarint();
+    if (n > 4096) throw wire::DecodeError("access list too large");
+    g.allowed.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) g.allowed.push_back(NodeId{r.uvarint()});
+  }
+  return g;
+}
+
+AccessPolicy AccessPolicy::open() { return AccessPolicy{}; }
+
+AccessPolicy AccessPolicy::private_to_owner() {
+  AccessPolicy p;
+  p.observe_.scope = AccessScope::kOwnerOnly;
+  p.extract_.scope = AccessScope::kOwnerOnly;
+  return p;
+}
+
+AccessPolicy AccessPolicy::shared_with(std::vector<NodeId> readers) {
+  AccessPolicy p;
+  p.observe_ = AccessGrant{AccessScope::kList, readers};
+  p.extract_ = AccessGrant{AccessScope::kList, std::move(readers)};
+  return p;
+}
+
+AccessPolicy& AccessPolicy::set(AccessOp op, AccessGrant grant) {
+  switch (op) {
+    case AccessOp::kObserve:
+      observe_ = std::move(grant);
+      break;
+    case AccessOp::kExtract:
+      extract_ = std::move(grant);
+      break;
+    case AccessOp::kHost:
+      host_ = std::move(grant);
+      break;
+  }
+  return *this;
+}
+
+const AccessGrant& AccessPolicy::grant(AccessOp op) const {
+  switch (op) {
+    case AccessOp::kExtract:
+      return extract_;
+    case AccessOp::kHost:
+      return host_;
+    case AccessOp::kObserve:
+      break;
+  }
+  return observe_;
+}
+
+bool AccessPolicy::permits(AccessOp op, NodeId owner,
+                           NodeId requester) const {
+  return grant(op).permits(owner, requester);
+}
+
+void AccessPolicy::encode(wire::Writer& w) const {
+  observe_.encode(w);
+  extract_.encode(w);
+  host_.encode(w);
+}
+
+AccessPolicy AccessPolicy::decode(wire::Reader& r) {
+  AccessPolicy p;
+  p.observe_ = AccessGrant::decode(r);
+  p.extract_ = AccessGrant::decode(r);
+  p.host_ = AccessGrant::decode(r);
+  return p;
+}
+
+}  // namespace tota

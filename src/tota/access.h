@@ -1,0 +1,94 @@
+// Access control for distributed tuples — the paper's §6 future work:
+// "we must compulsory integrate proper access control model to rule
+// accesses to distributed tuples and their updates."
+//
+// Model.  Every protected tuple carries an immutable owner (its injecting
+// node) plus a policy describing who may observe it (read / react to its
+// events), extract it locally (take), and host it (store a replica as it
+// propagates).  Policies travel inside the tuple content, so every node
+// enforces them locally with no extra protocol:
+//
+//   * observe  — filters `read`/`read_one` results and event dispatch;
+//   * extract  — filters `take`;
+//   * host     — consulted by the engine before storing a replica, so a
+//                tuple can cross untrusted nodes without resting on them.
+//
+// Scope rules are deliberately simple and serializable: everyone, the
+// owner only, or an explicit node whitelist.  Custom tuples needing
+// richer logic override Tuple::access() directly.
+//
+// Enforcement is cooperative middleware-level protection (a compromised
+// node could run a modified engine); the paper's model is the same — the
+// middleware, not cryptography, is the reference monitor.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "wire/record.h"
+
+namespace tota {
+
+class Tuple;
+
+/// The operations the access model distinguishes.
+enum class AccessOp {
+  kObserve,  // read / react to events about the tuple
+  kExtract,  // take (local removal)
+  kHost,     // store a replica during propagation
+};
+
+const char* to_string(AccessOp op);
+
+/// Who a grant applies to.
+enum class AccessScope : std::uint8_t {
+  kEveryone = 0,
+  kOwnerOnly = 1,
+  kList = 2,
+};
+
+/// A per-operation grant.
+struct AccessGrant {
+  AccessScope scope = AccessScope::kEveryone;
+  std::vector<NodeId> allowed;  // kList only
+
+  [[nodiscard]] bool permits(NodeId owner, NodeId requester) const;
+
+  void encode(wire::Writer& w) const;
+  static AccessGrant decode(wire::Reader& r);
+
+  friend bool operator==(const AccessGrant&, const AccessGrant&) = default;
+};
+
+/// The full policy of one tuple.  Default-constructed: everything open —
+/// matching the paper's unprotected base model.
+class AccessPolicy {
+ public:
+  AccessPolicy() = default;
+
+  static AccessPolicy open();
+  /// Only the owner observes/extracts; anyone hosts (a private marker
+  /// that can still propagate).
+  static AccessPolicy private_to_owner();
+  /// A whitelist shared across observe+extract; anyone hosts.
+  static AccessPolicy shared_with(std::vector<NodeId> readers);
+
+  AccessPolicy& set(AccessOp op, AccessGrant grant);
+  [[nodiscard]] const AccessGrant& grant(AccessOp op) const;
+
+  [[nodiscard]] bool permits(AccessOp op, NodeId owner,
+                             NodeId requester) const;
+
+  void encode(wire::Writer& w) const;
+  static AccessPolicy decode(wire::Reader& r);
+
+  friend bool operator==(const AccessPolicy&, const AccessPolicy&) = default;
+
+ private:
+  AccessGrant observe_;
+  AccessGrant extract_;
+  AccessGrant host_;
+};
+
+}  // namespace tota

@@ -1,0 +1,173 @@
+// TOTA ENGINE — the propagation and maintenance core of one node.
+//
+// Responsibilities (paper Fig. 2): keep the neighbour table, send tuples
+// injected locally, apply the propagation rule of received tuples and
+// re-propagate them, and keep the distributed structures coherent when
+// the topology changes.
+//
+// Wire protocol (one envelope per radio frame):
+//   0x01 TUPLE   <tuple encoding>            — a propagating tuple copy
+//   0x02 RETRACT <origin, seq, hop>          — replica removal announcement
+//   0x03 PROBE   <origin, seq>               — request re-announcement
+//
+// Propagation pipeline for a copy arriving from `from` with travelled
+// hop-count h (h = 0 for local injection):
+//   1. decide_enter(ctx)?           no → drop
+//   2. change_content(ctx)          per-hop content mutation
+//   3. duplicate resolution         (uid already stored? superseded?
+//                                    pass-through already seen?)
+//   4. decide_store(ctx)?           yes → replica into local space
+//   5. apply_effects(ctx)           effectful tuples edit the node
+//   6. publish kTupleArrived        subscriptions fire
+//   7. decide_propagate(ctx)?       yes → broadcast to neighbours
+//
+// Self-maintenance uses *value justification*: because every propagation
+// is a broadcast, a node overhears the replica values its neighbours
+// hold.  A stored replica (other than at its source) is justified while
+// some current neighbour holds the same tuple with a strictly smaller
+// hop value — i.e. while a shorter support chain towards the source
+// exists next door.  When a link breaks or a neighbour retracts/stretches,
+// replicas that lose justification are removed and announce their removal
+// (RETRACT), cascading the check outward; surviving justified neighbours
+// answer a RETRACT by re-announcing their replica, which rebuilds correct
+// values in the orphaned region.  Justification-by-value (rather than a
+// parent pointer) means the minimum-valued replica of a region cut off
+// from its source never has a justifier, so orphan regions drain; the
+// *hold-down* below stops transient heals from re-seeding them while
+// they do.
+//
+// Hold-down: after retracting a replica, a node refuses to reinstall the
+// same tuple at a hop value >= the removed one until `hold_down` elapses
+// (strictly better values — a genuinely shorter path — pass immediately).
+// On expiry the node broadcasts a PROBE; surviving justified holders
+// answer by re-announcing, which rebuilds correct (possibly larger)
+// values exactly once the removal wave has settled.  Together,
+// justification + hold-down + probe give convergence without the
+// count-to-infinity ratchet of naive distance-vector repair.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "tota/events.h"
+#include "tota/maintenance.h"
+#include "tota/platform.h"
+#include "tota/tuple.h"
+#include "tota/tuple_space.h"
+
+namespace tota {
+
+class Engine final : public SpaceOps {
+ public:
+  Engine(NodeId self, Platform& platform, TupleSpace& space, EventBus& bus,
+         MaintenanceOptions maintenance = {});
+
+  /// SpaceOps: removal that fires kTupleRemoved, available to effectful
+  /// tuples through Context::ops.
+  std::vector<std::unique_ptr<Tuple>> take_local(
+      const Pattern& pattern) override;
+
+  // --- application-facing (used by the Middleware facade) ---------------
+
+  /// Injects a locally-created tuple: assigns its uid and runs the
+  /// propagation pipeline with hop 0.  Returns the assigned uid.
+  TupleUid inject(std::unique_ptr<Tuple> tuple);
+
+  // --- platform-facing upcalls ------------------------------------------
+
+  void on_datagram(NodeId from, std::span<const std::uint8_t> payload);
+  void on_neighbor_up(NodeId neighbor);
+  void on_neighbor_down(NodeId neighbor);
+
+  // --- introspection -----------------------------------------------------
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const {
+    return neighbors_;
+  }
+  [[nodiscard]] const MaintenanceStats& maintenance_stats() const {
+    return maintenance_stats_;
+  }
+  /// Frames this engine could not parse (corruption / unknown types);
+  /// a healthy simulation keeps this at zero.
+  [[nodiscard]] std::uint64_t decode_failures() const {
+    return decode_failures_;
+  }
+
+ private:
+  enum class FrameKind : std::uint8_t { kTuple = 1, kRetract = 2, kProbe = 3 };
+
+  Context make_context(NodeId from, int hop) const;
+
+  /// The shared pipeline for injected and received tuples.
+  void process(std::unique_ptr<Tuple> tuple, NodeId from);
+
+  /// Broadcasts a TUPLE frame carrying `tuple` as stored on this node.
+  void send_tuple(const Tuple& tuple);
+
+  /// Removes the local replica of `uid`, announces the removal, and
+  /// counts it under started/cascaded retractions.
+  void retract_local(const TupleUid& uid, bool cascaded);
+
+  void handle_retract(NodeId from, const TupleUid& uid);
+  void handle_probe(const TupleUid& uid);
+
+  /// True while `hop` is blocked from installing under `uid`'s hold-down.
+  [[nodiscard]] bool held_down(const TupleUid& uid, int hop) const;
+
+  /// Records that neighbour `n` holds `uid` at `hop`; erase via
+  /// forget_neighbor_value.  Returns true if this changed the table.
+  void note_neighbor_value(const TupleUid& uid, NodeId n, int hop);
+  void forget_neighbor_value(const TupleUid& uid, NodeId n);
+
+  /// True when the local replica of `uid` is allowed to stay: it is the
+  /// source's own, not maintained, or some neighbour holds a smaller
+  /// value.
+  [[nodiscard]] bool justified(const TupleSpace::Entry& entry) const;
+
+  /// Re-checks justification of the local replica of `uid`; retracts it
+  /// when support is gone.  `cascaded` only labels the statistics:
+  /// link-loss-initiated removals are "started", removals triggered by
+  /// another node's retraction/stretch are "cascaded".
+  void recheck(const TupleUid& uid, bool cascaded = true);
+
+  NodeId self_;
+  Platform& platform_;
+  TupleSpace& space_;
+  EventBus& bus_;
+  MaintenanceOptions maintenance_;
+  MaintenanceStats maintenance_stats_;
+
+  std::vector<NodeId> neighbors_;
+  /// Overheard replica values per distributed tuple: uid → neighbour →
+  /// hop value at that neighbour.  The justification oracle.
+  std::unordered_map<TupleUid, std::map<NodeId, int>> neighbor_values_;
+  /// Uids of pass-through (non-stored) tuples already processed here;
+  /// terminates floods of tuples that keep no replica to dedup against.
+  /// Bounded (MaintenanceOptions::passthrough_memory) with FIFO
+  /// half-eviction; `passthrough_order_` remembers insertion order.
+  std::unordered_set<TupleUid> seen_passthrough_;
+  std::deque<TupleUid> passthrough_order_;
+
+  /// Inserts into the bounded pass-through filter; returns false when
+  /// the uid was already known.
+  bool remember_passthrough(const TupleUid& uid);
+  struct HoldDown {
+    SimTime until;
+    int removed_hop;
+  };
+  /// Recently-retracted tuples: reinstalls at >= removed_hop wait out the
+  /// hold-down (see class comment).
+  std::unordered_map<TupleUid, HoldDown> hold_down_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t decode_failures_ = 0;
+  /// Coalesces same-instant link-up re-propagation into one round.
+  bool repropagation_pending_ = false;
+};
+
+}  // namespace tota

@@ -1,0 +1,72 @@
+#include "tota/events.h"
+
+#include <algorithm>
+
+namespace tota {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTupleArrived:
+      return "tuple_arrived";
+    case EventKind::kTupleRemoved:
+      return "tuple_removed";
+    case EventKind::kNeighborUp:
+      return "neighbor_up";
+    case EventKind::kNeighborDown:
+      return "neighbor_down";
+  }
+  return "?";
+}
+
+namespace {
+const bool kPresenceRegistered = [] {
+  register_tuple_type<PresenceTuple>(PresenceTuple::kTag);
+  return true;
+}();
+}  // namespace
+
+PresenceTuple::PresenceTuple(NodeId neighbor, bool up) {
+  content().set("event", up ? "up" : "down").set("node", neighbor);
+}
+
+SubscriptionId EventBus::subscribe(Pattern pattern, Reaction reaction,
+                                   int kind_filter) {
+  const SubscriptionId id = next_id_++;
+  subscriptions_.push_back(
+      {id, std::move(pattern), std::move(reaction), kind_filter});
+  return id;
+}
+
+void EventBus::unsubscribe(SubscriptionId id) {
+  std::erase_if(subscriptions_,
+                [id](const Subscription& s) { return s.id == id; });
+}
+
+void EventBus::unsubscribe(const Pattern& pattern) {
+  std::erase_if(subscriptions_, [&pattern](const Subscription& s) {
+    return s.pattern.equivalent(pattern);
+  });
+}
+
+void EventBus::publish(const Event& event) {
+  // Snapshot ids + reactions so reentrant (un)subscription is safe.
+  std::vector<std::pair<SubscriptionId, Reaction>> to_run;
+  for (const auto& sub : subscriptions_) {
+    if (sub.kind_filter != kAnyKind &&
+        sub.kind_filter != static_cast<int>(event.kind)) {
+      continue;
+    }
+    if (sub.pattern.matches(*event.tuple)) {
+      to_run.emplace_back(sub.id, sub.reaction);
+    }
+  }
+  for (auto& [id, reaction] : to_run) {
+    // Skip reactions unsubscribed by an earlier reaction in this batch.
+    const bool still_live =
+        std::any_of(subscriptions_.begin(), subscriptions_.end(),
+                    [id](const Subscription& s) { return s.id == id; });
+    if (still_live) reaction(event);
+  }
+}
+
+}  // namespace tota

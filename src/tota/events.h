@@ -1,0 +1,95 @@
+// EVENT INTERFACE — asynchronous notification of local events.
+//
+// "Any event occurring in TOTA (including: arrivals of new tuples,
+// connections and disconnections of nodes) can be represented as a tuple"
+// (Sec. 4.3): neighbour connect/disconnect is published as an ephemeral
+// PresenceTuple, so one subscription mechanism (pattern + reaction)
+// covers everything.  The Java prototype names the reaction method by
+// string; the C++ analogue is a callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "tota/pattern.h"
+#include "tota/tuple.h"
+
+namespace tota {
+
+enum class EventKind {
+  kTupleArrived,   // a tuple entered (or updated in) the local space
+  kTupleRemoved,   // a replica was removed (taken or retracted)
+  kNeighborUp,     // a node joined the one-hop neighbourhood
+  kNeighborDown,   // a node left the one-hop neighbourhood
+};
+
+const char* to_string(EventKind kind);
+
+/// What a reaction sees.  `tuple` is the arrived/removed tuple, or the
+/// synthesized PresenceTuple for neighbour events; always non-null and
+/// valid only for the duration of the callback.
+struct Event {
+  EventKind kind;
+  const Tuple* tuple;
+  SimTime time;
+};
+
+/// Ephemeral tuple representing a neighbour connect/disconnect.  Never
+/// stored or propagated; exists so presence subscriptions use ordinary
+/// patterns: Pattern::of_type(PresenceTuple::kTag).eq("event", "up").
+class PresenceTuple final : public Tuple {
+ public:
+  static constexpr const char* kTag = "tota.presence";
+
+  PresenceTuple() = default;
+  PresenceTuple(NodeId neighbor, bool up);
+
+  [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] NodeId neighbor() const { return content().at("node").as_node(); }
+  [[nodiscard]] bool up() const { return content().at("event").as_string() == "up"; }
+};
+
+using SubscriptionId = std::uint64_t;
+
+class EventBus {
+ public:
+  using Reaction = std::function<void(const Event&)>;
+
+  /// Registers `reaction` for events whose tuple matches `pattern`,
+  /// optionally restricted to one event kind (kAnyKind = all).
+  static constexpr int kAnyKind = -1;
+  SubscriptionId subscribe(Pattern pattern, Reaction reaction,
+                           int kind_filter = kAnyKind);
+
+  void unsubscribe(SubscriptionId id);
+
+  /// Removes every subscription whose pattern is structurally equivalent
+  /// to `pattern` — the paper's `unsubscribe(Tuple template)`.
+  void unsubscribe(const Pattern& pattern);
+
+  /// Dispatches an event to all matching subscriptions.  Reactions may
+  /// subscribe/unsubscribe/inject reentrantly; dispatch works on a
+  /// snapshot.
+  void publish(const Event& event);
+
+  [[nodiscard]] std::size_t subscription_count() const {
+    return subscriptions_.size();
+  }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Pattern pattern;
+    Reaction reaction;
+    int kind_filter;
+  };
+
+  std::vector<Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace tota

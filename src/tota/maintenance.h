@@ -1,0 +1,56 @@
+// Self-maintenance policy knobs and bookkeeping.
+//
+// The TOTA engine keeps distributed tuple structures coherent as the
+// network changes (Sec. 3: "the middleware automatically re-propagates
+// tuples as soon as appropriate conditions occur").  Two mechanisms:
+//
+//  * link-up re-propagation — every stored replica whose rule propagated
+//    is re-broadcast when a new neighbour appears, so newcomers receive
+//    the structures already in place;
+//  * link-down retraction — each replica remembers the neighbour it was
+//    derived from (its parent).  When that link breaks, the replica is
+//    removed and a RETRACT control message cascades down the dependency
+//    tree; nodes holding independently-supported replicas answer a
+//    RETRACT by re-propagating, which rebuilds correct values in the
+//    orphaned region.
+//
+// Both can be disabled independently for the ablation benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace tota {
+
+struct MaintenanceOptions {
+  /// Re-broadcast stored propagating replicas when a neighbour appears.
+  bool repropagate_on_link_up = true;
+  /// Retract unjustified replicas when their support disappears.
+  bool retract_on_link_down = true;
+  /// After retracting a replica, refuse to reinstall the same tuple at a
+  /// value >= the removed one for this long, then PROBE the neighbourhood
+  /// for surviving replicas.  This is the hold-down that lets regions cut
+  /// off from a tuple's source drain completely instead of ratcheting
+  /// their values upward forever (distance-vector count-to-infinity).
+  /// Must comfortably exceed a few radio hops' worth of latency.
+  SimTime hold_down = SimTime::from_millis(150);
+  /// How many pass-through tuple uids the dedup filter remembers.  When
+  /// exceeded, the oldest half is evicted — a very late duplicate of an
+  /// evicted message could then be re-relayed once, which is harmless;
+  /// unbounded memory on "really simple devices" is not.
+  std::size_t passthrough_memory = 4096;
+};
+
+/// Counters the engine increments; experiments read these to cost the
+/// maintenance machinery.
+struct MaintenanceStats {
+  std::uint64_t link_up_repropagations = 0;
+  std::uint64_t retractions_started = 0;   // replicas dropped by link loss
+  std::uint64_t retractions_cascaded = 0;  // replicas dropped by RETRACT
+  std::uint64_t heal_repropagations = 0;   // replies to RETRACT
+  std::uint64_t probes_sent = 0;           // hold-down expiry probes
+  std::uint64_t probe_answers = 0;         // re-announcements to probes
+};
+
+}  // namespace tota

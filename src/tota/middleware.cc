@@ -1,0 +1,70 @@
+#include "tota/middleware.h"
+
+namespace tota {
+
+Middleware::Middleware(NodeId self, Platform& platform,
+                       MaintenanceOptions maintenance)
+    : platform_(platform), engine_(self, platform, space_, bus_, maintenance) {}
+
+TupleUid Middleware::inject(std::unique_ptr<Tuple> tuple) {
+  return engine_.inject(std::move(tuple));
+}
+
+std::vector<std::unique_ptr<Tuple>> Middleware::read(
+    const Pattern& pattern) const {
+  auto results = space_.read(pattern);
+  std::erase_if(results, [this](const std::unique_ptr<Tuple>& t) {
+    return !t->permits(AccessOp::kObserve, self());
+  });
+  return results;
+}
+
+std::unique_ptr<Tuple> Middleware::read_one(const Pattern& pattern) const {
+  for (const Tuple* t : space_.peek(pattern)) {
+    if (t->permits(AccessOp::kObserve, self())) return t->clone();
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Tuple>> Middleware::take(const Pattern& pattern) {
+  // Only extractable tuples leave the space; protected matches stay put.
+  std::vector<TupleUid> uids;
+  for (const Tuple* t : space_.peek(pattern)) {
+    if (t->permits(AccessOp::kExtract, self())) uids.push_back(t->uid());
+  }
+  std::vector<std::unique_ptr<Tuple>> out;
+  out.reserve(uids.size());
+  for (const TupleUid& uid : uids) out.push_back(space_.erase(uid));
+  return out;
+}
+
+SubscriptionId Middleware::subscribe(Pattern pattern,
+                                     EventBus::Reaction reaction,
+                                     int kind_filter) {
+  return bus_.subscribe(std::move(pattern), std::move(reaction), kind_filter);
+}
+
+void Middleware::unsubscribe(SubscriptionId id) { bus_.unsubscribe(id); }
+
+void Middleware::unsubscribe(const Pattern& pattern) {
+  bus_.unsubscribe(pattern);
+}
+
+void Middleware::on_datagram(NodeId from,
+                             std::span<const std::uint8_t> payload) {
+  engine_.on_datagram(from, payload);
+}
+
+void Middleware::on_neighbor_up(NodeId neighbor) {
+  engine_.on_neighbor_up(neighbor);
+  const PresenceTuple presence(neighbor, /*up=*/true);
+  bus_.publish(Event{EventKind::kNeighborUp, &presence, platform_.now()});
+}
+
+void Middleware::on_neighbor_down(NodeId neighbor) {
+  engine_.on_neighbor_down(neighbor);
+  const PresenceTuple presence(neighbor, /*up=*/false);
+  bus_.publish(Event{EventKind::kNeighborDown, &presence, platform_.now()});
+}
+
+}  // namespace tota

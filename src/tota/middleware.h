@@ -1,0 +1,89 @@
+// The TOTA API (paper Sec. 4.3) — the middleware facade of one node.
+//
+//   inject(tuple)                  put a tuple on the air
+//   read(template)                 copies of matching local tuples
+//   take(template)                 extract matching local tuples
+//                                  (the paper's `delete`; renamed because
+//                                  `delete` is a C++ keyword)
+//   subscribe(template, reaction)  react to matching local events
+//   unsubscribe(...)               remove subscriptions
+//
+// A Middleware is wired to a Platform (radio + clock + sensors) and is
+// driven by upcalls from the node's link layer: on_datagram,
+// on_neighbor_up, on_neighbor_down.  In this repository the Platform is
+// the network simulator (see emu/sim_platform.h); on real hardware it
+// would wrap sockets, as the paper's IPAQ prototype did.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tota/engine.h"
+#include "tota/events.h"
+#include "tota/maintenance.h"
+#include "tota/pattern.h"
+#include "tota/platform.h"
+#include "tota/tuple.h"
+#include "tota/tuple_space.h"
+
+namespace tota {
+
+class Middleware {
+ public:
+  Middleware(NodeId self, Platform& platform,
+             MaintenanceOptions maintenance = {});
+
+  Middleware(const Middleware&) = delete;
+  Middleware& operator=(const Middleware&) = delete;
+
+  // --- the TOTA API -------------------------------------------------------
+
+  /// Injects `tuple` into the network: the tuple starts propagating
+  /// according to its propagation rule.  Returns the middleware-assigned
+  /// uid (useful for tests and tracing; applications normally ignore it).
+  TupleUid inject(std::unique_ptr<Tuple> tuple);
+
+  /// Copies of local tuples matching `pattern` (the paper's `read`).
+  [[nodiscard]] std::vector<std::unique_ptr<Tuple>> read(
+      const Pattern& pattern) const;
+
+  /// First local match, or nullptr.
+  [[nodiscard]] std::unique_ptr<Tuple> read_one(const Pattern& pattern) const;
+
+  /// Extracts and returns local tuples matching `pattern` (the paper's
+  /// `delete`).  Removal is local: replicas on other nodes are untouched,
+  /// exactly as in the paper (use a modifier tuple for distributed
+  /// deletion).
+  std::vector<std::unique_ptr<Tuple>> take(const Pattern& pattern);
+
+  /// Associates `reaction` with events whose tuple matches `pattern`.
+  SubscriptionId subscribe(Pattern pattern, EventBus::Reaction reaction,
+                           int kind_filter = EventBus::kAnyKind);
+
+  void unsubscribe(SubscriptionId id);
+  void unsubscribe(const Pattern& pattern);
+
+  // --- link-layer upcalls ---------------------------------------------------
+
+  void on_datagram(NodeId from, std::span<const std::uint8_t> payload);
+  void on_neighbor_up(NodeId neighbor);
+  void on_neighbor_down(NodeId neighbor);
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] NodeId self() const { return engine_.self(); }
+  [[nodiscard]] const TupleSpace& space() const { return space_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const {
+    return engine_.neighbors();
+  }
+  [[nodiscard]] Platform& platform() { return platform_; }
+
+ private:
+  Platform& platform_;
+  TupleSpace space_;
+  EventBus bus_;
+  Engine engine_;
+};
+
+}  // namespace tota

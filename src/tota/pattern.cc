@@ -1,0 +1,94 @@
+#include "tota/pattern.h"
+
+#include "tota/tuple.h"
+
+namespace tota {
+
+Pattern Pattern::of_type(std::string tag) {
+  Pattern p;
+  p.type(std::move(tag));
+  return p;
+}
+
+Pattern& Pattern::type(std::string tag) {
+  type_ = std::move(tag);
+  return *this;
+}
+
+Pattern& Pattern::eq(std::string field, wire::Value value) {
+  fields_.push_back(
+      {Kind::kExact, std::move(field), std::move(value), nullptr});
+  return *this;
+}
+
+Pattern& Pattern::exists(std::string field) {
+  fields_.push_back({Kind::kExists, std::move(field), {}, nullptr});
+  return *this;
+}
+
+Pattern& Pattern::where(std::string field, Predicate pred) {
+  fields_.push_back({Kind::kPredicate, std::move(field), {}, std::move(pred)});
+  return *this;
+}
+
+bool Pattern::matches(const Tuple& tuple) const {
+  return matches_record(tuple.type_tag(), tuple.content());
+}
+
+bool Pattern::matches_record(const std::string& tag,
+                             const wire::Record& content) const {
+  if (type_ && *type_ != tag) return false;
+  for (const auto& c : fields_) {
+    const auto value = content.find(c.name);
+    if (!value) return false;
+    switch (c.kind) {
+      case Kind::kExact:
+        if (!(*value == c.value)) return false;
+        break;
+      case Kind::kExists:
+        break;
+      case Kind::kPredicate:
+        if (!c.predicate(*value)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Pattern::equivalent(const Pattern& other) const {
+  if (type_ != other.type_) return false;
+  if (fields_.size() != other.fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& a = fields_[i];
+    const auto& b = other.fields_[i];
+    if (a.kind != b.kind || a.name != b.name) return false;
+    if (a.kind == Kind::kExact && !(a.value == b.value)) return false;
+    if (a.kind == Kind::kPredicate) return false;  // opaque; never equal
+  }
+  return true;
+}
+
+std::string Pattern::str() const {
+  std::string out = type_ ? *type_ : "*";
+  out += "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const auto& c = fields_[i];
+    out += c.name;
+    switch (c.kind) {
+      case Kind::kExact:
+        out += "=" + c.value.str();
+        break;
+      case Kind::kExists:
+        out += "=?";
+        break;
+      case Kind::kPredicate:
+        out += "~pred";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tota

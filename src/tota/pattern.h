@@ -1,0 +1,68 @@
+// Pattern matching over tuples — the paper's `read(Tuple template)`.
+//
+// A Pattern matches a tuple when (a) the type tag matches, if constrained,
+// and (b) every pattern field matches the tuple's content: exact value,
+// wildcard (field must merely exist), or arbitrary predicate.  Fields the
+// pattern doesn't mention are unconstrained, mirroring Linda templates
+// where formal fields match anything.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wire/record.h"
+
+namespace tota {
+
+class Tuple;
+
+class Pattern {
+ public:
+  using Predicate = std::function<bool(const wire::Value&)>;
+
+  Pattern() = default;
+
+  /// Convenience: match any tuple of a given type tag.
+  static Pattern of_type(std::string tag);
+
+  /// Constrains the tuple's dynamic type tag.
+  Pattern& type(std::string tag);
+
+  /// Field must exist and equal `value`.
+  Pattern& eq(std::string field, wire::Value value);
+
+  /// Field must merely exist (any value) — a Linda formal.
+  Pattern& exists(std::string field);
+
+  /// Field must exist and satisfy `pred`.
+  Pattern& where(std::string field, Predicate pred);
+
+  [[nodiscard]] bool matches(const Tuple& tuple) const;
+  [[nodiscard]] bool matches_record(const std::string& tag,
+                                    const wire::Record& content) const;
+
+  /// Structural equality used by `unsubscribe(template)`.  Two patterns
+  /// are equivalent when their type constraint and exact/exists field
+  /// constraints are equal; predicate constraints compare by identity
+  /// (never equal unless both patterns are the same object's copies with
+  /// zero predicates).
+  [[nodiscard]] bool equivalent(const Pattern& other) const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Kind { kExact, kExists, kPredicate };
+  struct FieldConstraint {
+    Kind kind;
+    std::string name;
+    wire::Value value;   // kExact
+    Predicate predicate; // kPredicate
+  };
+
+  std::optional<std::string> type_;
+  std::vector<FieldConstraint> fields_;
+};
+
+}  // namespace tota

@@ -1,0 +1,42 @@
+// Platform: what the TOTA middleware needs from the device it runs on.
+//
+// The middleware itself is transport-agnostic — the paper's prototype ran
+// on 802.11b multicast sockets; this repository runs it on a simulated
+// radio.  A Platform provides one-hop broadcast, timers, a clock, a
+// location sensor, and per-node randomness.  Porting TOTA to real
+// hardware means implementing this interface (see sim_platform.h for the
+// simulator binding).
+#pragma once
+
+#include <functional>
+
+#include "common/clock.h"
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "wire/buffer.h"
+
+namespace tota {
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  /// Sends `payload` to every current one-hop neighbour (broadcast
+  /// medium; one transmission, many receivers).
+  virtual void broadcast(wire::Bytes payload) = 0;
+
+  /// Current local time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Runs `action` after `delay`.
+  virtual void schedule(SimTime delay, std::function<void()> action) = 0;
+
+  /// Location sensor reading (GPS / Wi-Fi triangulation stand-in).
+  [[nodiscard]] virtual Vec2 position() const = 0;
+
+  /// Node-local deterministic randomness.
+  [[nodiscard]] virtual Rng& rng() = 0;
+};
+
+}  // namespace tota

@@ -1,0 +1,90 @@
+#include "tota/tuple_space.h"
+
+#include <algorithm>
+
+namespace tota {
+
+void TupleSpace::put(std::unique_ptr<Tuple> tuple, NodeId parent,
+                     bool propagated, SimTime now) {
+  const TupleUid uid = tuple->uid();
+  entries_[uid] = Entry{std::move(tuple), parent, propagated, now};
+}
+
+const TupleSpace::Entry* TupleSpace::find(const TupleUid& uid) const {
+  const auto it = entries_.find(uid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Tuple> TupleSpace::erase(const TupleUid& uid) {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end()) return nullptr;
+  auto tuple = std::move(it->second.tuple);
+  entries_.erase(it);
+  return tuple;
+}
+
+std::vector<const TupleSpace::Entry*> TupleSpace::sorted_entries() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, entry] : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
+    return a->tuple->uid() < b->tuple->uid();
+  });
+  return out;
+}
+
+std::vector<std::unique_ptr<Tuple>> TupleSpace::read(
+    const Pattern& pattern) const {
+  std::vector<std::unique_ptr<Tuple>> out;
+  for (const Entry* entry : sorted_entries()) {
+    if (pattern.matches(*entry->tuple)) out.push_back(entry->tuple->clone());
+  }
+  return out;
+}
+
+std::unique_ptr<Tuple> TupleSpace::read_one(const Pattern& pattern) const {
+  for (const Entry* entry : sorted_entries()) {
+    if (pattern.matches(*entry->tuple)) return entry->tuple->clone();
+  }
+  return nullptr;
+}
+
+std::vector<const Tuple*> TupleSpace::peek(const Pattern& pattern) const {
+  std::vector<const Tuple*> out;
+  for (const Entry* entry : sorted_entries()) {
+    if (pattern.matches(*entry->tuple)) out.push_back(entry->tuple.get());
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Tuple>> TupleSpace::take(const Pattern& pattern) {
+  std::vector<std::unique_ptr<Tuple>> out;
+  std::vector<TupleUid> uids;
+  for (const Entry* entry : sorted_entries()) {
+    if (pattern.matches(*entry->tuple)) uids.push_back(entry->tuple->uid());
+  }
+  for (const auto& uid : uids) out.push_back(erase(uid));
+  return out;
+}
+
+std::vector<TupleUid> TupleSpace::dependents_of(NodeId parent) const {
+  std::vector<TupleUid> out;
+  for (const Entry* entry : sorted_entries()) {
+    if (entry->parent == parent) out.push_back(entry->tuple->uid());
+  }
+  return out;
+}
+
+std::vector<TupleUid> TupleSpace::propagated_uids() const {
+  std::vector<TupleUid> out;
+  for (const Entry* entry : sorted_entries()) {
+    if (entry->propagated) out.push_back(entry->tuple->uid());
+  }
+  return out;
+}
+
+void TupleSpace::for_each(const std::function<void(const Entry&)>& fn) const {
+  for (const Entry* entry : sorted_entries()) fn(*entry);
+}
+
+}  // namespace tota

@@ -1,0 +1,76 @@
+// The local tuple space of one TOTA node.
+//
+// Holds at most one replica per distributed tuple (keyed by TupleUid) plus
+// per-replica maintenance metadata: which neighbour the replica was
+// received from (`parent` — the dependency link the self-maintenance
+// algorithm cascades along) and whether the replica is re-propagated to
+// newly-appearing neighbours.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "tota/pattern.h"
+#include "tota/tuple.h"
+
+namespace tota {
+
+class TupleSpace {
+ public:
+  struct Entry {
+    std::unique_ptr<Tuple> tuple;
+    /// Neighbour this replica came from; invalid for locally-injected
+    /// tuples (the source has no upstream dependency).
+    NodeId parent;
+    /// True when decide_propagate() held here, so the replica is re-sent
+    /// to new neighbours by the maintenance machinery.
+    bool propagated = false;
+    SimTime stored_at;
+  };
+
+  /// Stores or replaces the replica for tuple->uid().
+  void put(std::unique_ptr<Tuple> tuple, NodeId parent, bool propagated,
+           SimTime now);
+
+  /// Replica for `uid`, or nullptr.
+  [[nodiscard]] const Entry* find(const TupleUid& uid) const;
+
+  /// Removes the replica for `uid`; returns it (empty if absent).
+  std::unique_ptr<Tuple> erase(const TupleUid& uid);
+
+  /// Copies of all stored tuples matching `pattern` (the paper's `read`).
+  [[nodiscard]] std::vector<std::unique_ptr<Tuple>> read(
+      const Pattern& pattern) const;
+
+  /// First match, if any — the common single-tuple lookup.
+  [[nodiscard]] std::unique_ptr<Tuple> read_one(const Pattern& pattern) const;
+
+  /// Non-owning views of matches; valid only until the space next mutates.
+  [[nodiscard]] std::vector<const Tuple*> peek(const Pattern& pattern) const;
+
+  /// Removes and returns all matches (the paper's `delete`).
+  std::vector<std::unique_ptr<Tuple>> take(const Pattern& pattern);
+
+  /// Uids of replicas whose parent is `parent` (dependency children of a
+  /// lost link).
+  [[nodiscard]] std::vector<TupleUid> dependents_of(NodeId parent) const;
+
+  /// Uids of replicas flagged for re-propagation.
+  [[nodiscard]] std::vector<TupleUid> propagated_uids() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Iterates entries in deterministic (uid) order.
+  void for_each(const std::function<void(const Entry&)>& fn) const;
+
+ private:
+  [[nodiscard]] std::vector<const Entry*> sorted_entries() const;
+
+  std::unordered_map<TupleUid, Entry> entries_;
+};
+
+}  // namespace tota

@@ -1,0 +1,20 @@
+#include "tuples/all.h"
+
+namespace tota::tuples {
+
+void register_standard_tuples() {
+  register_tuple_type<GradientTuple>(GradientTuple::kTag);
+  register_tuple_type<FloodTuple>(FloodTuple::kTag);
+  register_tuple_type<FlockTuple>(FlockTuple::kTag);
+  register_tuple_type<AdvertTuple>(AdvertTuple::kTag);
+  register_tuple_type<QueryTuple>(QueryTuple::kTag);
+  register_tuple_type<MessageTuple>(MessageTuple::kTag);
+  register_tuple_type<AnswerTuple>(AnswerTuple::kTag);
+  register_tuple_type<SpaceTuple>(SpaceTuple::kTag);
+  register_tuple_type<DirectionTuple>(DirectionTuple::kTag);
+  register_tuple_type<ModifierTuple>(ModifierTuple::kTag);
+  register_tuple_type<NavTuple>(NavTuple::kTag);
+  register_tuple_type<DataTuple>(DataTuple::kTag);
+}
+
+}  // namespace tota::tuples

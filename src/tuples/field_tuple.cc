@@ -1,0 +1,44 @@
+#include "tuples/field_tuple.h"
+
+namespace tota::tuples {
+
+FieldTuple::FieldTuple(std::string name, int scope) : scope_(scope) {
+  content().set("name", std::move(name));
+}
+
+bool FieldTuple::decide_enter(const Context& ctx) {
+  return scope_ == kUnbounded || ctx.hop <= scope_;
+}
+
+void FieldTuple::change_content(const Context& ctx) {
+  if (ctx.hop == 0) {
+    content().set("source", ctx.self);
+    // Source position, re-stamped whenever the (possibly mobile) source
+    // re-announces; lets agents turn hop-space fields into directions.
+    content().set("origin_pos", ctx.position);
+  }
+  content().set("hopcount", ctx.hop);
+  update_fields(ctx);
+}
+
+bool FieldTuple::decide_propagate(const Context& ctx) {
+  return scope_ == kUnbounded || ctx.hop < scope_;
+}
+
+bool FieldTuple::supersedes(const Tuple& stored) const {
+  // Monotone distance update: the copy with the shorter travelled path
+  // wins, so hopcount converges to the true BFS distance.
+  return hop() < stored.hop();
+}
+
+void FieldTuple::update_fields(const Context&) {}
+
+void FieldTuple::encode_extra(wire::Writer& w) const { w.svarint(scope_); }
+
+void FieldTuple::decode_extra(wire::Reader& r) {
+  const auto scope = r.svarint();
+  if (scope < -1 || scope > (1 << 24)) throw wire::DecodeError("bad scope");
+  scope_ = static_cast<int>(scope);
+}
+
+}  // namespace tota::tuples

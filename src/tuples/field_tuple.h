@@ -1,0 +1,68 @@
+// FieldTuple — the workhorse propagation pattern of the paper: a tuple
+// that spreads breadth-first from its source, hop by hop, maintaining a
+// per-node distance ("a tuple incrementing one of its fields as it gets
+// propagated identifies a sort of structure of space defining the network
+// distances from the source").
+//
+// Content fields every FieldTuple maintains:
+//   name     : string  — application-level label of the structure
+//   source   : NodeId  — the injecting node (set automatically at hop 0)
+//   hopcount : int     — BFS distance from the source at this node
+//
+// Subclasses add their own derived fields in update_fields() (e.g. the
+// flocking tuple's V-shaped `val`).  Replica resolution is monotone:
+// a copy that travelled fewer hops supersedes one that travelled more, so
+// each node converges to its true network distance from the source.
+//
+// An optional scope bounds propagation to `scope` hops from the source
+// (the "expanding ring" is cut there).
+#pragma once
+
+#include <string>
+
+#include "tota/tuple.h"
+
+namespace tota::tuples {
+
+class FieldTuple : public Tuple {
+ public:
+  static constexpr int kUnbounded = -1;
+
+  FieldTuple() = default;
+  explicit FieldTuple(std::string name, int scope = kUnbounded);
+
+  // --- content accessors ---------------------------------------------------
+
+  [[nodiscard]] std::string name() const {
+    return content().at("name").as_string();
+  }
+  [[nodiscard]] NodeId source() const {
+    return content().at("source").as_node();
+  }
+  [[nodiscard]] int hopcount() const {
+    return static_cast<int>(content().at("hopcount").as_int());
+  }
+
+  [[nodiscard]] int scope() const { return scope_; }
+  void set_scope(int scope) { scope_ = scope; }
+
+  // --- propagation rule ------------------------------------------------------
+
+  bool decide_enter(const Context& ctx) override;
+  void change_content(const Context& ctx) override;
+  bool decide_propagate(const Context& ctx) override;
+  bool supersedes(const Tuple& stored) const override;
+
+ protected:
+  /// Subclass extension point: maintain derived content fields; runs after
+  /// source/hopcount are updated for this node.
+  virtual void update_fields(const Context& ctx);
+
+  void encode_extra(wire::Writer& w) const override;
+  void decode_extra(wire::Reader& r) override;
+
+ private:
+  int scope_ = kUnbounded;
+};
+
+}  // namespace tota::tuples

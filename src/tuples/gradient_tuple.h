@@ -1,0 +1,46 @@
+// GradientTuple — the paper's §5.1 "structure" tuple:
+//
+//   C = (structure, nodename, hopcount)
+//   P = (propagate to all the nodes, increasing hopcount by one at every
+//        hop)
+//
+// Injecting one overlays the network with the hop-distance field of the
+// injecting node; MessageTuple copies then descend this field to reach it.
+// Also doubles as the generic "information field": applications may add
+// arbitrary payload fields to the content before injecting.
+#pragma once
+
+#include "tuples/field_tuple.h"
+
+namespace tota::tuples {
+
+class GradientTuple final : public FieldTuple {
+ public:
+  static constexpr const char* kTag = "tota.gradient";
+
+  GradientTuple() = default;
+  explicit GradientTuple(std::string name, int scope = kUnbounded)
+      : FieldTuple(std::move(name), scope) {}
+
+  [[nodiscard]] std::string type_tag() const override { return kTag; }
+};
+
+/// FloodTuple — plain network-wide flooding of an application payload;
+/// the degenerate FieldTuple whose only job is to reach (and stay on)
+/// every node.  Kept as its own type so applications can subscribe to
+/// floods without pattern-matching gradients.
+class FloodTuple final : public FieldTuple {
+ public:
+  static constexpr const char* kTag = "tota.flood";
+
+  FloodTuple() = default;
+  FloodTuple(std::string name, wire::Value payload)
+      : FieldTuple(std::move(name), kUnbounded) {
+    content().set("payload", std::move(payload));
+  }
+
+  [[nodiscard]] wire::Value payload() const { return content().at("payload"); }
+  [[nodiscard]] std::string type_tag() const override { return kTag; }
+};
+
+}  // namespace tota::tuples

@@ -1,0 +1,39 @@
+#include "tuples/modifier_tuple.h"
+
+#include "tota/pattern.h"
+
+namespace tota::tuples {
+
+void ModifierTuple::apply_effects(const Context& ctx) {
+  if (ctx.ops == nullptr) return;
+  Pattern pattern;
+  if (!target_type_.empty()) pattern.type(target_type_);
+  for (const auto& [name, value] : field_equals_) pattern.eq(name, value);
+  ctx.ops->take_local(pattern);
+}
+
+void ModifierTuple::encode_extra(wire::Writer& w) const {
+  w.string(target_type_);
+  w.svarint(scope_);
+  w.uvarint(field_equals_.size());
+  for (const auto& [name, value] : field_equals_) {
+    w.string(name);
+    value.encode(w);
+  }
+}
+
+void ModifierTuple::decode_extra(wire::Reader& r) {
+  target_type_ = r.string();
+  const auto scope = r.svarint();
+  if (scope < -1 || scope > (1 << 24)) throw wire::DecodeError("bad scope");
+  scope_ = static_cast<int>(scope);
+  const auto n = r.uvarint();
+  if (n > 256) throw wire::DecodeError("too many match fields");
+  field_equals_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.string();
+    field_equals_.emplace_back(std::move(name), wire::Value::decode(r));
+  }
+}
+
+}  // namespace tota::tuples

@@ -1,0 +1,64 @@
+// ModifierTuple — a tuple that edits the nodes it crosses.
+//
+// The paper (Sec. 4.3) lists "propagating by deleting/modifying specific
+// tuples in the propagation nodes (this can be used to supply the lack of
+// a delete primitive in the API)" among the patterns the Tuple class can
+// express.  A ModifierTuple floods a (possibly hop-scoped) region and
+// removes, on every node it enters, the stored tuples matching its match
+// spec.  It stores nothing itself and leaves no trace beyond the
+// kTupleRemoved events it triggers.
+//
+// The match spec is the serializable subset of Pattern: an optional type
+// tag plus exact field-equality constraints.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tota/tuple.h"
+
+namespace tota::tuples {
+
+class ModifierTuple final : public Tuple {
+ public:
+  static constexpr const char* kTag = "tota.modifier";
+  static constexpr int kUnbounded = -1;
+
+  ModifierTuple() = default;
+
+  /// Deletes tuples of `target_type` (empty = any type) matching all
+  /// `field_equals` constraints, on every node within `scope` hops.
+  explicit ModifierTuple(
+      std::string target_type,
+      std::vector<std::pair<std::string, wire::Value>> field_equals = {},
+      int scope = kUnbounded)
+      : target_type_(std::move(target_type)),
+        field_equals_(std::move(field_equals)),
+        scope_(scope) {}
+
+  [[nodiscard]] std::string type_tag() const override { return kTag; }
+
+  bool decide_enter(const Context& ctx) override {
+    return scope_ == kUnbounded || ctx.hop <= scope_;
+  }
+
+  bool decide_store(const Context&) override { return false; }
+
+  bool decide_propagate(const Context& ctx) override {
+    return scope_ == kUnbounded || ctx.hop < scope_;
+  }
+
+  void apply_effects(const Context& ctx) override;
+
+ protected:
+  void encode_extra(wire::Writer& w) const override;
+  void decode_extra(wire::Reader& r) override;
+
+ private:
+  std::string target_type_;
+  std::vector<std::pair<std::string, wire::Value>> field_equals_;
+  int scope_ = kUnbounded;
+};
+
+}  // namespace tota::tuples

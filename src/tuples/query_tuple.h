@@ -1,0 +1,37 @@
+// QueryTuple — paper §5.2, second solution (request/response gathering):
+//
+// "user devices can inject tuples describing the information they are
+// looking for … query tuples create a structure to be used by answer
+// tuples to reach the enquiring device."
+//
+// A QueryTuple is a distance field whose `name` is the query string and
+// whose source is the enquirer ("home").  Information nodes subscribe to
+// query arrivals and respond with an AnswerTuple that descends the query
+// field back to the enquirer — reproducing the Roman/Julien/Huang
+// network-abstractions pattern entirely inside TOTA.
+#pragma once
+
+#include "tuples/field_tuple.h"
+
+namespace tota::tuples {
+
+class QueryTuple final : public FieldTuple {
+ public:
+  static constexpr const char* kTag = "tota.query";
+
+  QueryTuple() = default;
+
+  /// `what` describes the requested information; `scope` bounds the
+  /// search ring ("all gas stations within 10 miles" style interest
+  /// scopes become hop scopes here).
+  explicit QueryTuple(std::string what, int scope = kUnbounded)
+      : FieldTuple(std::move(what), scope) {}
+
+  [[nodiscard]] std::string what() const { return name(); }
+  /// The enquiring node (the field's source).
+  [[nodiscard]] NodeId home() const { return source(); }
+
+  [[nodiscard]] std::string type_tag() const override { return kTag; }
+};
+
+}  // namespace tota::tuples

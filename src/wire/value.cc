@@ -1,0 +1,177 @@
+#include "wire/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace tota::wire {
+
+const char* to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kNodeId:
+      return "node";
+    case ValueType::kVec2:
+      return "vec2";
+    case ValueType::kBlob:
+      return "blob";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  // Variant alternative order mirrors the ValueType enum.
+  return static_cast<ValueType>(v_.index());
+}
+
+double Value::as_number() const {
+  if (type() == ValueType::kInt) return static_cast<double>(as_int());
+  return as_double();
+}
+
+bool Value::less(const Value& other) const {
+  if (type() != other.type()) return type() < other.type();
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return as_int() < other.as_int();
+    case ValueType::kDouble:
+      return as_double() < other.as_double();
+    case ValueType::kBool:
+      return as_bool() < other.as_bool();
+    case ValueType::kString:
+      return as_string() < other.as_string();
+    case ValueType::kNodeId:
+      return as_node() < other.as_node();
+    case ValueType::kVec2: {
+      const Vec2 a = as_vec2();
+      const Vec2 b = other.as_vec2();
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    }
+    case ValueType::kBlob:
+      return as_blob() < other.as_blob();
+  }
+  return false;
+}
+
+void Value::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w.svarint(as_int());
+      break;
+    case ValueType::kDouble:
+      w.f64(as_double());
+      break;
+    case ValueType::kBool:
+      w.boolean(as_bool());
+      break;
+    case ValueType::kString:
+      w.string(as_string());
+      break;
+    case ValueType::kNodeId:
+      w.uvarint(as_node().value());
+      break;
+    case ValueType::kVec2:
+      w.f64(as_vec2().x);
+      w.f64(as_vec2().y);
+      break;
+    case ValueType::kBlob:
+      w.blob(as_blob());
+      break;
+  }
+}
+
+Value Value::decode(Reader& r) {
+  const auto tag = r.u8();
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value{};
+    case ValueType::kInt:
+      return Value{r.svarint()};
+    case ValueType::kDouble:
+      return Value{r.f64()};
+    case ValueType::kBool:
+      return Value{r.boolean()};
+    case ValueType::kString:
+      return Value{r.string()};
+    case ValueType::kNodeId:
+      return Value{NodeId{r.uvarint()}};
+    case ValueType::kVec2: {
+      const double x = r.f64();
+      const double y = r.f64();
+      return Value{Vec2{x, y}};
+    }
+    case ValueType::kBlob:
+      return Value{r.blob()};
+  }
+  throw DecodeError("unknown value tag " + std::to_string(tag));
+}
+
+std::string Value::str() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "_";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kString:
+      return "\"" + as_string() + "\"";
+    case ValueType::kNodeId:
+      return tota::to_string(as_node());
+    case ValueType::kVec2:
+      return tota::to_string(as_vec2());
+    case ValueType::kBlob:
+      return "blob[" + std::to_string(as_blob().size()) + "]";
+  }
+  return "?";
+}
+
+std::size_t Value::hash() const {
+  const std::size_t seed = static_cast<std::size_t>(type()) * 0x9E3779B9u;
+  auto mix = [seed](std::size_t h) {
+    return seed ^ (h + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+  };
+  switch (type()) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kInt:
+      return mix(std::hash<std::int64_t>{}(as_int()));
+    case ValueType::kDouble:
+      return mix(std::hash<double>{}(as_double()));
+    case ValueType::kBool:
+      return mix(std::hash<bool>{}(as_bool()));
+    case ValueType::kString:
+      return mix(std::hash<std::string>{}(as_string()));
+    case ValueType::kNodeId:
+      return mix(std::hash<NodeId>{}(as_node()));
+    case ValueType::kVec2:
+      return mix(std::hash<double>{}(as_vec2().x) * 31 +
+                 std::hash<double>{}(as_vec2().y));
+    case ValueType::kBlob: {
+      std::size_t h = as_blob().size();
+      for (auto b : as_blob()) h = h * 131 + b;
+      return mix(h);
+    }
+  }
+  return seed;
+}
+
+}  // namespace tota::wire

@@ -1,0 +1,95 @@
+// Typed tuple field values.
+//
+// A TOTA tuple's content C is "an ordered set of typed fields"; Value is
+// one such field.  The variant covers the types the paper's examples need
+// (names, hop counts, node references, positions, payload blobs) plus a
+// Null used by templates to mean "any value" (formal/wildcard field).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "wire/buffer.h"
+
+namespace tota::wire {
+
+/// Discriminator tags; stable on the wire — never reorder.
+enum class ValueType : std::uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kBool = 3,
+  kString = 4,
+  kNodeId = 5,
+  kVec2 = 6,
+  kBlob = 7,
+};
+
+const char* to_string(ValueType type);
+
+/// A single typed field value with total ordering, hashing, and wire
+/// encode/decode.
+class Value {
+ public:
+  Value() = default;  // Null
+  Value(std::int64_t v) : v_(v) {}
+  Value(int v) : v_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : v_(v) {}
+  Value(bool v) : v_(v) {}
+  Value(std::string v) : v_(std::move(v)) {}
+  Value(const char* v) : v_(std::string(v)) {}
+  Value(NodeId v) : v_(v) {}
+  Value(Vec2 v) : v_(v) {}
+  Value(std::vector<std::uint8_t> v) : v_(std::move(v)) {}
+
+  [[nodiscard]] ValueType type() const;
+  [[nodiscard]] bool is_null() const { return type() == ValueType::kNull; }
+
+  // Checked accessors: throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(v_);
+  }
+  [[nodiscard]] double as_double() const { return std::get<double>(v_); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] NodeId as_node() const { return std::get<NodeId>(v_); }
+  [[nodiscard]] Vec2 as_vec2() const { return std::get<Vec2>(v_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& as_blob() const {
+    return std::get<std::vector<std::uint8_t>>(v_);
+  }
+
+  /// Numeric view: int and double both convert; throws otherwise.
+  [[nodiscard]] double as_number() const;
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+  /// Total order across types (by type tag first), so values can key
+  /// ordered containers.
+  [[nodiscard]] bool less(const Value& other) const;
+
+  void encode(Writer& w) const;
+  static Value decode(Reader& r);
+
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  struct Null {
+    friend bool operator==(Null, Null) { return true; }
+  };
+  using Storage = std::variant<Null, std::int64_t, double, bool, std::string,
+                               NodeId, Vec2, std::vector<std::uint8_t>>;
+  Storage v_;
+};
+
+inline bool operator<(const Value& a, const Value& b) { return a.less(b); }
+
+}  // namespace tota::wire

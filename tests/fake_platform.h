@@ -1,0 +1,54 @@
+// Test double for the Platform interface: captures broadcasts, runs
+// scheduled actions on demand, and lets tests control time and position.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tota/platform.h"
+
+namespace tota::testing {
+
+class FakePlatform final : public Platform {
+ public:
+  void broadcast(wire::Bytes payload) override {
+    broadcasts.push_back(std::move(payload));
+  }
+
+  [[nodiscard]] SimTime now() const override { return time; }
+
+  void schedule(SimTime delay, std::function<void()> action) override {
+    scheduled.emplace_back(time + delay, std::move(action));
+  }
+
+  [[nodiscard]] Vec2 position() const override { return pos; }
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  /// Runs (and clears) every pending scheduled action.
+  void run_scheduled() {
+    auto pending = std::move(scheduled);
+    scheduled.clear();
+    for (auto& [when, action] : pending) {
+      if (when > time) time = when;
+      action();
+    }
+  }
+
+  /// Pops the oldest captured broadcast.
+  wire::Bytes pop_broadcast() {
+    wire::Bytes front = std::move(broadcasts.front());
+    broadcasts.erase(broadcasts.begin());
+    return front;
+  }
+
+  std::vector<wire::Bytes> broadcasts;
+  std::vector<std::pair<SimTime, std::function<void()>>> scheduled;
+  SimTime time;
+  Vec2 pos;
+
+ private:
+  Rng rng_{12345};
+};
+
+}  // namespace tota::testing

@@ -1,0 +1,442 @@
+// Unit tests for the TOTA engine: injection pipeline, dedup, wire frames,
+// retraction, decode robustness.  Uses a FakePlatform so each test drives
+// one engine in isolation and inspects exactly what it transmits.
+#include <gtest/gtest.h>
+
+#include "fake_platform.h"
+#include "tota/engine.h"
+#include "tuples/all.h"
+
+namespace tota {
+namespace {
+
+using testing::FakePlatform;
+using tuples::GradientTuple;
+using tuples::ModifierTuple;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tuples::register_standard_tuples(); }
+
+  FakePlatform platform_;
+  TupleSpace space_;
+  EventBus bus_;
+  Engine engine_{NodeId{1}, platform_, space_, bus_};
+};
+
+TEST_F(EngineTest, InjectAssignsUidAndStores) {
+  const TupleUid uid =
+      engine_.inject(std::make_unique<GradientTuple>("field"));
+  EXPECT_EQ(uid.origin(), NodeId{1});
+  const auto* entry = space_.find(uid);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tuple->hop(), 0);
+  EXPECT_EQ(entry->tuple->content().at("hopcount").as_int(), 0);
+  EXPECT_EQ(entry->tuple->content().at("source").as_node(), NodeId{1});
+  EXPECT_FALSE(entry->parent.valid());
+}
+
+TEST_F(EngineTest, InjectBroadcastsTupleFrame) {
+  engine_.inject(std::make_unique<GradientTuple>("field"));
+  ASSERT_EQ(platform_.broadcasts.size(), 1u);
+  // Frame parses back into the same tuple at hop 0.
+  wire::Reader r(platform_.broadcasts[0]);
+  EXPECT_EQ(r.u8(), 1);  // kTuple
+  const auto decoded = Tuple::decode(r);
+  EXPECT_EQ(decoded->type_tag(), GradientTuple::kTag);
+  EXPECT_EQ(decoded->hop(), 0);
+}
+
+TEST_F(EngineTest, SequencesIncrease) {
+  const auto a = engine_.inject(std::make_unique<GradientTuple>("f1"));
+  const auto b = engine_.inject(std::make_unique<GradientTuple>("f2"));
+  EXPECT_LT(a.sequence(), b.sequence());
+}
+
+// Round-trips a tuple through the wire the way a neighbour would receive
+// it: encoded at the sender's hop, then hop+1 applied on receipt.
+wire::Bytes tuple_frame(const Tuple& tuple) {
+  wire::Writer w;
+  w.u8(1);
+  tuple.encode(w);
+  return w.take();
+}
+
+TEST_F(EngineTest, ReceivedTupleStoredWithIncrementedHop) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  remote.content().set("source", NodeId{9}).set("hopcount", 2);
+
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  const auto* entry = space_.find(remote.uid());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tuple->hop(), 3);
+  EXPECT_EQ(entry->tuple->content().at("hopcount").as_int(), 3);
+  EXPECT_EQ(entry->parent, NodeId{5});
+  // And re-propagated.
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, WorseDuplicateDropped) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  remote.set_hop(6);  // longer path: must not supersede hop 3
+  engine_.on_datagram(NodeId{6}, tuple_frame(remote));
+  EXPECT_EQ(space_.find(remote.uid())->tuple->hop(), 3);
+  EXPECT_TRUE(platform_.broadcasts.empty());
+}
+
+TEST_F(EngineTest, BetterCopySupersedesAndRepropagates) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(5);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  remote.set_hop(1);
+  engine_.on_datagram(NodeId{6}, tuple_frame(remote));
+  const auto* entry = space_.find(remote.uid());
+  EXPECT_EQ(entry->tuple->hop(), 2);
+  EXPECT_EQ(entry->parent, NodeId{6});
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, IdenticalParentReannounceIsQuiet) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  // The parent re-broadcasts the same value (e.g. a new neighbour
+  // appeared near it): no update, no re-propagation storm.
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  EXPECT_TRUE(platform_.broadcasts.empty());
+}
+
+TEST_F(EngineTest, StretchedSupportIsRetractedThenReinstalled) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  // Our only supporter now announces a *worse* value (the topology
+  // stretched upstream).  Justification fails (RETRACT announced) and the
+  // worse copy is held down — reinstalling it immediately is what fuels
+  // count-to-infinity between orphaned replicas.
+  remote.set_hop(7);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  EXPECT_EQ(space_.find(remote.uid()), nullptr);
+  ASSERT_EQ(platform_.broadcasts.size(), 1u);
+  {
+    wire::Reader r(platform_.broadcasts[0]);
+    EXPECT_EQ(r.u8(), 2);  // the retraction announcement
+  }
+  EXPECT_EQ(engine_.maintenance_stats().retractions_cascaded, 1u);
+  platform_.broadcasts.clear();
+
+  // Hold-down expires: the engine probes for surviving holders…
+  platform_.run_scheduled();
+  ASSERT_EQ(platform_.broadcasts.size(), 1u);
+  {
+    wire::Reader r(platform_.broadcasts[0]);
+    EXPECT_EQ(r.u8(), 3);  // PROBE
+  }
+  EXPECT_EQ(engine_.maintenance_stats().probes_sent, 1u);
+  platform_.broadcasts.clear();
+
+  // …and the supporter's re-announcement now installs the stretched
+  // value fresh.
+  remote.set_hop(7);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  ASSERT_NE(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(space_.find(remote.uid())->tuple->hop(), 8);
+  ASSERT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, NeighborUpTriggersRepropagation) {
+  engine_.inject(std::make_unique<GradientTuple>("field"));
+  platform_.broadcasts.clear();
+
+  engine_.on_neighbor_up(NodeId{4});
+  platform_.run_scheduled();
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+  EXPECT_EQ(engine_.maintenance_stats().link_up_repropagations, 1u);
+  EXPECT_EQ(engine_.neighbors(), std::vector<NodeId>{NodeId{4}});
+}
+
+TEST_F(EngineTest, SimultaneousLinkUpsAreDebounced) {
+  engine_.inject(std::make_unique<GradientTuple>("field"));
+  platform_.broadcasts.clear();
+
+  engine_.on_neighbor_up(NodeId{4});
+  engine_.on_neighbor_up(NodeId{5});
+  engine_.on_neighbor_up(NodeId{6});
+  platform_.run_scheduled();
+  // One re-propagation round, not three.
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, NeighborDownRetractsDependents) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  engine_.on_neighbor_down(NodeId{5});
+  EXPECT_EQ(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(engine_.maintenance_stats().retractions_started, 1u);
+  // A RETRACT frame went out.
+  ASSERT_EQ(platform_.broadcasts.size(), 1u);
+  wire::Reader r(platform_.broadcasts[0]);
+  EXPECT_EQ(r.u8(), 2);  // kRetract
+  EXPECT_EQ(NodeId{r.uvarint()}, NodeId{9});
+  EXPECT_EQ(r.uvarint(), 1u);
+}
+
+TEST_F(EngineTest, LocallyInjectedSurvivesNeighborLoss) {
+  const auto uid = engine_.inject(std::make_unique<GradientTuple>("field"));
+  engine_.on_neighbor_up(NodeId{5});
+  engine_.on_neighbor_down(NodeId{5});
+  EXPECT_NE(space_.find(uid), nullptr);
+}
+
+TEST_F(EngineTest, RetractFromParentCascades) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  wire::Writer w;
+  w.u8(2);
+  w.uvarint(9);
+  w.uvarint(1);
+  w.svarint(2);
+  engine_.on_datagram(NodeId{5}, w.take());
+  EXPECT_EQ(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(engine_.maintenance_stats().retractions_cascaded, 1u);
+}
+
+TEST_F(EngineTest, RetractFromNonParentTriggersHeal) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  wire::Writer w;
+  w.u8(2);
+  w.uvarint(9);
+  w.uvarint(1);
+  w.svarint(4);
+  engine_.on_datagram(NodeId{6}, w.take());  // not our parent
+  EXPECT_NE(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(engine_.maintenance_stats().heal_repropagations, 1u);
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);  // replica re-announced
+}
+
+TEST_F(EngineTest, HoldDownAdmitsStrictlyBetterValues) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(4);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  engine_.on_neighbor_down(NodeId{5});  // retract: hold-down at hop 5
+  platform_.broadcasts.clear();
+
+  // A copy over a *shorter* path is never a zombie ratchet: it installs
+  // immediately despite the hold-down.
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{6}, tuple_frame(remote));
+  ASSERT_NE(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(space_.find(remote.uid())->tuple->hop(), 3);
+}
+
+TEST_F(EngineTest, HoldDownBlocksEqualOrWorseUntilExpiry) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(4);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  engine_.on_neighbor_down(NodeId{5});  // hold-down armed at hop 5
+
+  remote.set_hop(4);  // re-arrives at the same value
+  engine_.on_datagram(NodeId{6}, tuple_frame(remote));
+  EXPECT_EQ(space_.find(remote.uid()), nullptr);  // blocked
+
+  platform_.run_scheduled();  // hold-down expires; probe goes out
+  engine_.on_datagram(NodeId{6}, tuple_frame(remote));
+  EXPECT_NE(space_.find(remote.uid()), nullptr);  // admitted now
+}
+
+TEST_F(EngineTest, ProbeAnsweredOnlyByJustifiedHolders) {
+  // A replica whose support is gone must not answer probes (it is about
+  // to drain itself); a justified one answers.
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  remote.set_hop(2);
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  platform_.broadcasts.clear();
+
+  wire::Writer probe;
+  probe.u8(3);
+  probe.uvarint(9);
+  probe.uvarint(1);
+  engine_.on_datagram(NodeId{6}, probe.bytes());
+  EXPECT_EQ(engine_.maintenance_stats().probe_answers, 1u);
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, ProbeForUnknownTupleIgnored) {
+  wire::Writer probe;
+  probe.u8(3);
+  probe.uvarint(9);
+  probe.uvarint(1);
+  engine_.on_datagram(NodeId{6}, probe.take());
+  EXPECT_TRUE(platform_.broadcasts.empty());
+  EXPECT_EQ(engine_.maintenance_stats().probe_answers, 0u);
+}
+
+TEST_F(EngineTest, SourceAnswersProbesForItsOwnTuple) {
+  engine_.inject(std::make_unique<GradientTuple>("field"));
+  const TupleUid uid = space_.propagated_uids()[0];
+  platform_.broadcasts.clear();
+
+  wire::Writer probe;
+  probe.u8(3);
+  probe.uvarint(uid.origin().value());
+  probe.uvarint(uid.sequence());
+  engine_.on_datagram(NodeId{6}, probe.take());
+  EXPECT_EQ(platform_.broadcasts.size(), 1u);
+}
+
+TEST_F(EngineTest, RetractForUnknownTupleIgnored) {
+  wire::Writer w;
+  w.u8(2);
+  w.uvarint(9);
+  w.uvarint(1);
+  w.svarint(4);
+  engine_.on_datagram(NodeId{6}, w.take());
+  EXPECT_TRUE(platform_.broadcasts.empty());
+}
+
+TEST_F(EngineTest, GarbageFramesCountedNotFatal) {
+  engine_.on_datagram(NodeId{5}, wire::Bytes{});
+  engine_.on_datagram(NodeId{5}, wire::Bytes{99, 1, 2});
+  engine_.on_datagram(NodeId{5}, wire::Bytes{1, 0xFF, 0xFF});
+  EXPECT_EQ(engine_.decode_failures(), 3u);
+  EXPECT_TRUE(space_.empty());
+}
+
+TEST_F(EngineTest, UnknownTupleTypeCounted) {
+  wire::Writer w;
+  w.u8(1);
+  w.string("never.registered");
+  engine_.on_datagram(NodeId{5}, w.take());
+  EXPECT_EQ(engine_.decode_failures(), 1u);
+}
+
+TEST_F(EngineTest, TrailingBytesRejected) {
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  auto frame = tuple_frame(remote);
+  frame.push_back(0xAB);
+  engine_.on_datagram(NodeId{5}, frame);
+  EXPECT_EQ(engine_.decode_failures(), 1u);
+}
+
+TEST_F(EngineTest, ArrivalEventsPublished) {
+  int arrivals = 0;
+  bus_.subscribe(
+      Pattern{}, [&](const Event&) { ++arrivals; },
+      static_cast<int>(EventKind::kTupleArrived));
+  engine_.inject(std::make_unique<GradientTuple>("field"));
+  EXPECT_EQ(arrivals, 1);
+}
+
+TEST_F(EngineTest, RemovalEventOnRetraction) {
+  int removals = 0;
+  bus_.subscribe(
+      Pattern{}, [&](const Event&) { ++removals; },
+      static_cast<int>(EventKind::kTupleRemoved));
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  engine_.on_neighbor_down(NodeId{5});
+  EXPECT_EQ(removals, 1);
+}
+
+TEST_F(EngineTest, ModifierTupleDeletesMatchesViaOps) {
+  engine_.inject(std::make_unique<GradientTuple>("doomed"));
+  engine_.inject(std::make_unique<GradientTuple>("kept"));
+
+  ModifierTuple eraser(GradientTuple::kTag, {{"name", wire::Value{"doomed"}}});
+  eraser.set_uid(TupleUid{NodeId{9}, 1});
+  wire::Writer w;
+  w.u8(1);
+  eraser.encode(w);
+  engine_.on_datagram(NodeId{5}, w.take());
+
+  Pattern doomed;
+  doomed.eq("name", "doomed");
+  EXPECT_TRUE(space_.peek(doomed).empty());
+  Pattern kept;
+  kept.eq("name", "kept");
+  EXPECT_EQ(space_.peek(kept).size(), 1u);
+}
+
+TEST_F(EngineTest, PassthroughMemoryIsBounded) {
+  MaintenanceOptions opts;
+  opts.passthrough_memory = 4;
+  Engine engine(NodeId{2}, platform_, space_, bus_, opts);
+
+  auto frame_for = [](std::uint64_t seq) {
+    ModifierTuple m("no.such.type", {});
+    m.set_uid(TupleUid{NodeId{9}, seq});
+    wire::Writer w;
+    w.u8(1);
+    m.encode(w);
+    return w.take();
+  };
+
+  // Flood 6 distinct pass-through tuples through a 4-entry filter…
+  for (std::uint64_t seq = 1; seq <= 6; ++seq) {
+    engine.on_datagram(NodeId{5}, frame_for(seq));
+  }
+  const auto relayed = platform_.broadcasts.size();
+  EXPECT_EQ(relayed, 6u);
+
+  // …the newest is still remembered (its duplicate is absorbed)…
+  engine.on_datagram(NodeId{6}, frame_for(6));
+  EXPECT_EQ(platform_.broadcasts.size(), relayed);
+
+  // …while the oldest was evicted, so its late duplicate is re-relayed
+  // once — the documented bounded-memory trade-off.
+  engine.on_datagram(NodeId{6}, frame_for(1));
+  EXPECT_EQ(platform_.broadcasts.size(), relayed + 1);
+}
+
+TEST_F(EngineTest, PassThroughProcessedOncePerNode) {
+  // A modifier tuple is pass-through; a second copy via another neighbour
+  // must not re-run effects or re-propagate.
+  ModifierTuple eraser(GradientTuple::kTag, {{"name", wire::Value{"x"}}});
+  eraser.set_uid(TupleUid{NodeId{9}, 1});
+  wire::Writer w;
+  w.u8(1);
+  eraser.encode(w);
+  const auto frame = w.take();
+
+  engine_.on_datagram(NodeId{5}, frame);
+  const auto first_count = platform_.broadcasts.size();
+  engine_.on_datagram(NodeId{6}, frame);
+  EXPECT_EQ(platform_.broadcasts.size(), first_count);
+}
+
+}  // namespace
+}  // namespace tota

@@ -1,0 +1,134 @@
+// Unit tests for the EVENT INTERFACE (subscriptions, presence tuples).
+#include <gtest/gtest.h>
+
+#include "tota/events.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota {
+namespace {
+
+using tuples::GradientTuple;
+
+GradientTuple make_gradient(const std::string& name) {
+  GradientTuple g(name);
+  g.set_uid(TupleUid{NodeId{1}, 1});
+  g.content().set("source", NodeId{1}).set("hopcount", 0);
+  return g;
+}
+
+TEST(EventBusTest, SubscriptionFiresOnMatch) {
+  EventBus bus;
+  int fired = 0;
+  Pattern p;
+  p.eq("name", "a");
+  bus.subscribe(p, [&](const Event&) { ++fired; });
+
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(fired, 1);
+
+  const auto other = make_gradient("b");
+  bus.publish({EventKind::kTupleArrived, &other, SimTime::zero()});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventBusTest, KindFilterRestricts) {
+  EventBus bus;
+  int arrivals = 0;
+  int removals = 0;
+  bus.subscribe(
+      Pattern{}, [&](const Event&) { ++arrivals; },
+      static_cast<int>(EventKind::kTupleArrived));
+  bus.subscribe(
+      Pattern{}, [&](const Event&) { ++removals; },
+      static_cast<int>(EventKind::kTupleRemoved));
+
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  bus.publish({EventKind::kTupleRemoved, &tuple, SimTime::zero()});
+  bus.publish({EventKind::kTupleRemoved, &tuple, SimTime::zero()});
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(removals, 2);
+}
+
+TEST(EventBusTest, UnsubscribeById) {
+  EventBus bus;
+  int fired = 0;
+  const auto id = bus.subscribe(Pattern{}, [&](const Event&) { ++fired; });
+  bus.unsubscribe(id);
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(bus.subscription_count(), 0u);
+}
+
+TEST(EventBusTest, UnsubscribeByEquivalentPattern) {
+  EventBus bus;
+  int fired = 0;
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  p.eq("name", "a");
+  bus.subscribe(p, [&](const Event&) { ++fired; });
+
+  Pattern same = Pattern::of_type(GradientTuple::kTag);
+  same.eq("name", "a");
+  bus.unsubscribe(same);  // the paper's unsubscribe(template)
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventBusTest, ReactionMaySubscribeReentrantly) {
+  EventBus bus;
+  int inner_fired = 0;
+  bus.subscribe(Pattern{}, [&](const Event&) {
+    bus.subscribe(Pattern{}, [&](const Event&) { ++inner_fired; });
+  });
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(inner_fired, 0);  // snapshot: not fired for the same event
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(inner_fired, 1);
+}
+
+TEST(EventBusTest, ReactionMayUnsubscribeAnother) {
+  EventBus bus;
+  int second_fired = 0;
+  SubscriptionId second = 0;
+  bus.subscribe(Pattern{},
+                [&](const Event&) { bus.unsubscribe(second); });
+  second = bus.subscribe(Pattern{}, [&](const Event&) { ++second_fired; });
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  // The first reaction removed the second before it ran.
+  EXPECT_EQ(second_fired, 0);
+}
+
+TEST(PresenceTupleTest, EncodesNeighborAndDirection) {
+  const PresenceTuple up(NodeId{7}, true);
+  EXPECT_EQ(up.neighbor(), NodeId{7});
+  EXPECT_TRUE(up.up());
+  const PresenceTuple down(NodeId{8}, false);
+  EXPECT_FALSE(down.up());
+}
+
+TEST(PresenceTupleTest, MatchableByPattern) {
+  EventBus bus;
+  int ups = 0;
+  Pattern p = Pattern::of_type(PresenceTuple::kTag);
+  p.eq("event", "up");
+  bus.subscribe(p, [&](const Event&) { ++ups; });
+
+  const PresenceTuple up(NodeId{7}, true);
+  const PresenceTuple down(NodeId{7}, false);
+  bus.publish({EventKind::kNeighborUp, &up, SimTime::zero()});
+  bus.publish({EventKind::kNeighborDown, &down, SimTime::zero()});
+  EXPECT_EQ(ups, 1);
+}
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(to_string(EventKind::kTupleArrived), "tuple_arrived");
+  EXPECT_STREQ(to_string(EventKind::kNeighborDown), "neighbor_down");
+}
+
+}  // namespace
+}  // namespace tota

@@ -1,0 +1,143 @@
+// Tests for the Middleware facade: the paper's API surface semantics.
+#include <gtest/gtest.h>
+
+#include "fake_platform.h"
+#include "tota/middleware.h"
+#include "tuples/all.h"
+
+namespace tota {
+namespace {
+
+using testing::FakePlatform;
+using namespace tota::tuples;
+
+class MiddlewareTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_standard_tuples(); }
+
+  FakePlatform platform_;
+  Middleware mw_{NodeId{1}, platform_};
+};
+
+TEST_F(MiddlewareTest, InjectReturnsUidAndStores) {
+  const TupleUid uid = mw_.inject(std::make_unique<GradientTuple>("f"));
+  EXPECT_TRUE(uid.valid());
+  EXPECT_EQ(uid.origin(), mw_.self());
+  EXPECT_EQ(mw_.space().size(), 1u);
+}
+
+TEST_F(MiddlewareTest, ReadReturnsCopiesNotViews) {
+  mw_.inject(std::make_unique<GradientTuple>("f"));
+  auto copies = mw_.read(Pattern{});
+  ASSERT_EQ(copies.size(), 1u);
+  copies[0]->content().set("name", "tampered");
+  EXPECT_EQ(mw_.read_one(Pattern{})->content().at("name").as_string(), "f");
+}
+
+TEST_F(MiddlewareTest, ReadOneNullWhenNoMatch) {
+  EXPECT_EQ(mw_.read_one(Pattern::of_type(FlockTuple::kTag)), nullptr);
+}
+
+TEST_F(MiddlewareTest, TakeRemovesLocally) {
+  mw_.inject(std::make_unique<GradientTuple>("a"));
+  mw_.inject(std::make_unique<GradientTuple>("b"));
+  Pattern p;
+  p.eq("name", "a");
+  const auto taken = mw_.take(p);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0]->content().at("name").as_string(), "a");
+  EXPECT_EQ(mw_.space().size(), 1u);
+}
+
+TEST_F(MiddlewareTest, TakeDoesNotAnnounceRemoval) {
+  // The paper's delete is local: no RETRACT goes on the air, other
+  // replicas are untouched (use ModifierTuple for distributed deletes).
+  mw_.inject(std::make_unique<GradientTuple>("a"));
+  platform_.broadcasts.clear();
+  mw_.take(Pattern{});
+  EXPECT_TRUE(platform_.broadcasts.empty());
+}
+
+TEST_F(MiddlewareTest, SubscribeFiresOnInject) {
+  std::vector<std::string> seen;
+  mw_.subscribe(Pattern::of_type(GradientTuple::kTag),
+                [&](const Event& e) {
+                  seen.push_back(e.tuple->content().at("name").as_string());
+                },
+                static_cast<int>(EventKind::kTupleArrived));
+  mw_.inject(std::make_unique<GradientTuple>("x"));
+  EXPECT_EQ(seen, std::vector<std::string>{"x"});
+}
+
+TEST_F(MiddlewareTest, UnsubscribeByTemplateStopsReactions) {
+  int fired = 0;
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  p.eq("name", "x");
+  mw_.subscribe(p, [&](const Event&) { ++fired; });
+
+  Pattern same = Pattern::of_type(GradientTuple::kTag);
+  same.eq("name", "x");
+  mw_.unsubscribe(same);
+  mw_.inject(std::make_unique<GradientTuple>("x"));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(MiddlewareTest, UnsubscribeByIdIsPrecise) {
+  int a = 0;
+  int b = 0;
+  const auto ida =
+      mw_.subscribe(Pattern{}, [&](const Event&) { ++a; });
+  mw_.subscribe(Pattern{}, [&](const Event&) { ++b; });
+  mw_.unsubscribe(ida);
+  mw_.inject(std::make_unique<GradientTuple>("x"));
+  EXPECT_EQ(a, 0);
+  EXPECT_GE(b, 1);
+}
+
+TEST_F(MiddlewareTest, NeighborUpDownPublishPresenceEvents) {
+  std::vector<std::pair<bool, NodeId>> events;
+  mw_.subscribe(Pattern::of_type(PresenceTuple::kTag),
+                [&](const Event& e) {
+                  const auto& p = static_cast<const PresenceTuple&>(*e.tuple);
+                  events.emplace_back(p.up(), p.neighbor());
+                });
+  mw_.on_neighbor_up(NodeId{9});
+  mw_.on_neighbor_down(NodeId{9});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<bool, NodeId>{true, NodeId{9}}));
+  EXPECT_EQ(events[1], (std::pair<bool, NodeId>{false, NodeId{9}}));
+  EXPECT_TRUE(mw_.neighbors().empty());
+}
+
+TEST_F(MiddlewareTest, DatagramsFlowToTheEngine) {
+  GradientTuple remote("f");
+  remote.set_uid(TupleUid{NodeId{7}, 3});
+  remote.set_hop(1);
+  wire::Writer w;
+  w.u8(1);
+  remote.encode(w);
+  mw_.on_datagram(NodeId{7}, w.bytes());
+  EXPECT_EQ(mw_.space().size(), 1u);
+  EXPECT_EQ(mw_.engine().decode_failures(), 0u);
+}
+
+TEST_F(MiddlewareTest, EventSubscriptionSeesRemovals) {
+  int removed = 0;
+  mw_.subscribe(
+      Pattern{}, [&](const Event&) { ++removed; },
+      static_cast<int>(EventKind::kTupleRemoved));
+  mw_.inject(std::make_unique<GradientTuple>("f"));
+  mw_.take(Pattern{});
+  // take() itself bypasses the bus (paper semantics: a pull, not an
+  // event)… removals via the engine's ops DO fire; assert current
+  // contract explicitly:
+  EXPECT_EQ(removed, 0);
+}
+
+TEST_F(MiddlewareTest, SelfAndPlatformAccessors) {
+  EXPECT_EQ(mw_.self(), NodeId{1});
+  EXPECT_EQ(&mw_.platform(), &platform_);
+}
+
+}  // namespace
+}  // namespace tota

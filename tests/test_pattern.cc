@@ -1,0 +1,109 @@
+// Unit tests for tuple pattern matching.
+#include <gtest/gtest.h>
+
+#include "tota/pattern.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota {
+namespace {
+
+using tuples::GradientTuple;
+
+GradientTuple make_gradient(const std::string& name, NodeId source, int hop) {
+  GradientTuple g(name);
+  g.content().set("source", source).set("hopcount", hop);
+  return g;
+}
+
+TEST(PatternTest, EmptyPatternMatchesEverything) {
+  const Pattern p;
+  EXPECT_TRUE(p.matches(make_gradient("a", NodeId{1}, 0)));
+  EXPECT_TRUE(p.matches(make_gradient("b", NodeId{2}, 9)));
+}
+
+TEST(PatternTest, TypeConstraint) {
+  const Pattern p = Pattern::of_type(GradientTuple::kTag);
+  EXPECT_TRUE(p.matches(make_gradient("a", NodeId{1}, 0)));
+  const Pattern q = Pattern::of_type("tota.flock");
+  EXPECT_FALSE(q.matches(make_gradient("a", NodeId{1}, 0)));
+}
+
+TEST(PatternTest, ExactFieldMatch) {
+  Pattern p;
+  p.eq("name", "route");
+  EXPECT_TRUE(p.matches(make_gradient("route", NodeId{1}, 2)));
+  EXPECT_FALSE(p.matches(make_gradient("other", NodeId{1}, 2)));
+}
+
+TEST(PatternTest, ExactMatchIsTypeSensitive) {
+  Pattern p;
+  p.eq("hopcount", 2);
+  EXPECT_TRUE(p.matches(make_gradient("x", NodeId{1}, 2)));
+  Pattern q;
+  q.eq("hopcount", 2.0);  // double != int field
+  EXPECT_FALSE(q.matches(make_gradient("x", NodeId{1}, 2)));
+}
+
+TEST(PatternTest, ExistsRequiresPresenceOnly) {
+  Pattern p;
+  p.exists("hopcount");
+  EXPECT_TRUE(p.matches(make_gradient("x", NodeId{1}, 0)));
+  Pattern q;
+  q.exists("no_such_field");
+  EXPECT_FALSE(q.matches(make_gradient("x", NodeId{1}, 0)));
+}
+
+TEST(PatternTest, PredicateConstraint) {
+  Pattern p;
+  p.where("hopcount",
+          [](const wire::Value& v) { return v.as_int() >= 3; });
+  EXPECT_TRUE(p.matches(make_gradient("x", NodeId{1}, 3)));
+  EXPECT_FALSE(p.matches(make_gradient("x", NodeId{1}, 2)));
+}
+
+TEST(PatternTest, AllConstraintsMustHold) {
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  p.eq("name", "route").eq("source", NodeId{5});
+  EXPECT_TRUE(p.matches(make_gradient("route", NodeId{5}, 1)));
+  EXPECT_FALSE(p.matches(make_gradient("route", NodeId{6}, 1)));
+  EXPECT_FALSE(p.matches(make_gradient("x", NodeId{5}, 1)));
+}
+
+TEST(PatternTest, MissingFieldFailsEvenForPredicate) {
+  Pattern p;
+  p.where("absent", [](const wire::Value&) { return true; });
+  EXPECT_FALSE(p.matches(make_gradient("x", NodeId{1}, 0)));
+}
+
+TEST(PatternTest, EquivalenceComparesStructure) {
+  Pattern a = Pattern::of_type("t");
+  a.eq("f", 1).exists("g");
+  Pattern b = Pattern::of_type("t");
+  b.eq("f", 1).exists("g");
+  EXPECT_TRUE(a.equivalent(b));
+
+  Pattern c = Pattern::of_type("t");
+  c.eq("f", 2).exists("g");
+  EXPECT_FALSE(a.equivalent(c));
+
+  Pattern d = Pattern::of_type("u");
+  d.eq("f", 1).exists("g");
+  EXPECT_FALSE(a.equivalent(d));
+}
+
+TEST(PatternTest, PredicatesNeverEquivalent) {
+  Pattern a;
+  a.where("f", [](const wire::Value&) { return true; });
+  Pattern b;
+  b.where("f", [](const wire::Value&) { return true; });
+  EXPECT_FALSE(a.equivalent(b));
+}
+
+TEST(PatternTest, StrIsReadable) {
+  Pattern p = Pattern::of_type("t");
+  p.eq("f", 1).exists("g");
+  EXPECT_EQ(p.str(), "t{f=1, g=?}");
+}
+
+}  // namespace
+}  // namespace tota

@@ -1,0 +1,153 @@
+// Unit tests for the local tuple space.
+#include <gtest/gtest.h>
+
+#include "tota/tuple_space.h"
+#include "tuples/all.h"
+
+namespace tota {
+namespace {
+
+using tuples::GradientTuple;
+
+std::unique_ptr<GradientTuple> make_tuple(NodeId origin, std::uint64_t seq,
+                                          const std::string& name, int hop) {
+  auto t = std::make_unique<GradientTuple>(name);
+  t->set_uid(TupleUid{origin, seq});
+  t->set_hop(hop);
+  t->content().set("source", origin).set("hopcount", hop);
+  return t;
+}
+
+class TupleSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tuples::register_standard_tuples(); }
+  TupleSpace space_;
+};
+
+TEST_F(TupleSpaceTest, PutAndFind) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  const auto* entry = space_.find(TupleUid{NodeId{1}, 1});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tuple->content().at("name").as_string(), "a");
+  EXPECT_TRUE(entry->propagated);
+  EXPECT_FALSE(entry->parent.valid());
+  EXPECT_EQ(space_.size(), 1u);
+}
+
+TEST_F(TupleSpaceTest, PutReplacesSameUid) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 5), NodeId{2}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{1}, 1, "a", 3), NodeId{3}, true,
+             SimTime::zero());
+  EXPECT_EQ(space_.size(), 1u);
+  const auto* entry = space_.find(TupleUid{NodeId{1}, 1});
+  EXPECT_EQ(entry->tuple->hop(), 3);
+  EXPECT_EQ(entry->parent, NodeId{3});
+}
+
+TEST_F(TupleSpaceTest, EraseReturnsTuple) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  auto removed = space_.erase(TupleUid{NodeId{1}, 1});
+  ASSERT_NE(removed, nullptr);
+  EXPECT_TRUE(space_.empty());
+  EXPECT_EQ(space_.erase(TupleUid{NodeId{1}, 1}), nullptr);
+}
+
+TEST_F(TupleSpaceTest, ReadReturnsClones) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  auto results = space_.read(Pattern{});
+  ASSERT_EQ(results.size(), 1u);
+  // Mutating the copy must not affect the stored replica.
+  results[0]->content().set("name", "mutated");
+  EXPECT_EQ(space_.find(TupleUid{NodeId{1}, 1})
+                ->tuple->content()
+                .at("name")
+                .as_string(),
+            "a");
+}
+
+TEST_F(TupleSpaceTest, ReadFiltersByPattern) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, false,
+             SimTime::zero());
+  Pattern p;
+  p.eq("name", "b");
+  const auto results = space_.read(p);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->content().at("name").as_string(), "b");
+}
+
+TEST_F(TupleSpaceTest, ReadOneReturnsFirstInUidOrder) {
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  const auto one = space_.read_one(Pattern{});
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->uid().origin(), NodeId{1});
+  EXPECT_EQ(space_.read_one(Pattern::of_type("no.such")), nullptr);
+}
+
+TEST_F(TupleSpaceTest, PeekReturnsViews) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  const auto views = space_.peek(Pattern{});
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0], space_.find(TupleUid{NodeId{1}, 1})->tuple.get());
+}
+
+TEST_F(TupleSpaceTest, TakeRemovesMatches) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, false,
+             SimTime::zero());
+  Pattern p;
+  p.eq("name", "a");
+  auto taken = space_.take(p);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(space_.size(), 1u);
+  EXPECT_EQ(space_.find(TupleUid{NodeId{1}, 1}), nullptr);
+}
+
+TEST_F(TupleSpaceTest, DependentsOfTracksParents) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 1), NodeId{9}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 1), NodeId{9}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{3}, 1, "c", 1), NodeId{8}, true,
+             SimTime::zero());
+  const auto deps = space_.dependents_of(NodeId{9});
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_EQ(space_.dependents_of(NodeId{7}).size(), 0u);
+}
+
+TEST_F(TupleSpaceTest, PropagatedUidsFiltersFlag) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, false,
+             SimTime::zero());
+  const auto uids = space_.propagated_uids();
+  ASSERT_EQ(uids.size(), 1u);
+  EXPECT_EQ(uids[0].origin(), NodeId{1});
+}
+
+TEST_F(TupleSpaceTest, ForEachVisitsInUidOrder) {
+  space_.put(make_tuple(NodeId{3}, 1, "c", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, false,
+             SimTime::zero());
+  std::vector<std::uint64_t> origins;
+  space_.for_each([&](const TupleSpace::Entry& e) {
+    origins.push_back(e.tuple->uid().origin().value());
+  });
+  EXPECT_EQ(origins, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tota

@@ -1,0 +1,263 @@
+// Unit tests for src/wire: buffer primitives, values, records, registry.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "wire/buffer.h"
+#include "wire/record.h"
+#include "wire/registry.h"
+#include "wire/value.h"
+
+namespace tota::wire {
+namespace {
+
+TEST(BufferTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.boolean(true);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BufferTest, UvarintRoundTrip) {
+  const std::uint64_t cases[] = {0,    1,        127,    128,
+                                 300,  16383,    16384,  1u << 20,
+                                 1ull << 40, std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : cases) {
+    Writer w;
+    w.uvarint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.uvarint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(BufferTest, SvarintRoundTrip) {
+  const std::int64_t cases[] = {0,  -1, 1,  -64, 64, -10000, 10000,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : cases) {
+    Writer w;
+    w.svarint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.svarint(), v) << v;
+  }
+}
+
+TEST(BufferTest, SmallSvarintIsCompact) {
+  Writer w;
+  w.svarint(-2);
+  EXPECT_EQ(w.size(), 1u);  // zig-zag keeps small negatives small
+}
+
+TEST(BufferTest, StringAndBlobRoundTrip) {
+  Writer w;
+  w.string("hello tota");
+  w.string("");
+  const Bytes blob{1, 2, 3, 250};
+  w.blob(blob);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.string(), "hello tota");
+  EXPECT_EQ(r.string(), "");
+  EXPECT_EQ(r.blob(), blob);
+}
+
+TEST(BufferTest, TruncatedInputThrows) {
+  Writer w;
+  w.u32(12345);
+  Bytes bytes = w.take();
+  bytes.pop_back();
+  Reader r(bytes);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(BufferTest, TruncatedStringThrows) {
+  Writer w;
+  w.uvarint(100);  // claims 100 bytes follow
+  Reader r(w.bytes());
+  EXPECT_THROW(r.string(), DecodeError);
+}
+
+TEST(BufferTest, OverlongVarintThrows) {
+  const Bytes bytes(11, 0xFF);  // 11 continuation bytes
+  Reader r(bytes);
+  EXPECT_THROW(r.uvarint(), DecodeError);
+}
+
+TEST(BufferTest, InvalidBooleanThrows) {
+  const Bytes bytes{2};
+  Reader r(bytes);
+  EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(BufferTest, ExpectDoneThrowsOnTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(ValueTest, TypesAreReported) {
+  EXPECT_EQ(Value{}.type(), ValueType::kNull);
+  EXPECT_EQ(Value{std::int64_t{4}}.type(), ValueType::kInt);
+  EXPECT_EQ(Value{2.5}.type(), ValueType::kDouble);
+  EXPECT_EQ(Value{true}.type(), ValueType::kBool);
+  EXPECT_EQ(Value{"s"}.type(), ValueType::kString);
+  EXPECT_EQ(Value{NodeId{3}}.type(), ValueType::kNodeId);
+  EXPECT_EQ((Value{Vec2{1, 2}}.type()), ValueType::kVec2);
+  EXPECT_EQ((Value{std::vector<std::uint8_t>{1}}.type()), ValueType::kBlob);
+}
+
+TEST(ValueTest, RoundTripEveryType) {
+  const Value values[] = {Value{},
+                          Value{std::int64_t{-42}},
+                          Value{6.28},
+                          Value{false},
+                          Value{"context"},
+                          Value{NodeId{99}},
+                          Value{Vec2{-1.5, 2.5}},
+                          Value{std::vector<std::uint8_t>{9, 8, 7}}};
+  for (const auto& v : values) {
+    Writer w;
+    v.encode(w);
+    Reader r(w.bytes());
+    const Value decoded = Value::decode(r);
+    EXPECT_EQ(decoded, v) << v.str();
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(ValueTest, AsNumberCoversIntAndDouble) {
+  EXPECT_DOUBLE_EQ((Value{std::int64_t{5}}.as_number()), 5.0);
+  EXPECT_DOUBLE_EQ(Value{5.5}.as_number(), 5.5);
+  EXPECT_THROW((void)Value{"x"}.as_number(), std::bad_variant_access);
+}
+
+TEST(ValueTest, WrongAccessorThrows) {
+  EXPECT_THROW((void)Value{1.0}.as_int(), std::bad_variant_access);
+  EXPECT_THROW((void)Value{"s"}.as_node(), std::bad_variant_access);
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  const Value a{std::int64_t{5}};
+  const Value b{"abc"};
+  EXPECT_TRUE(a.less(b) != b.less(a));  // antisymmetric
+  EXPECT_FALSE(a.less(a));
+}
+
+TEST(ValueTest, OrderWithinType) {
+  EXPECT_TRUE((Value{std::int64_t{1}} < Value{std::int64_t{2}}));
+  EXPECT_TRUE((Value{"a"} < Value{"b"}));
+  EXPECT_TRUE((Value{Vec2{1, 5}} < Value{Vec2{2, 0}}));
+}
+
+TEST(ValueTest, UnknownTagThrows) {
+  const Bytes bytes{200};
+  Reader r(bytes);
+  EXPECT_THROW(Value::decode(r), DecodeError);
+}
+
+TEST(ValueTest, HashDiffersAcrossValues) {
+  EXPECT_NE(Value{std::int64_t{1}}.hash(), Value{std::int64_t{2}}.hash());
+  EXPECT_NE(Value{"a"}.hash(), Value{"b"}.hash());
+  EXPECT_EQ(Value{"a"}.hash(), Value{"a"}.hash());
+}
+
+TEST(RecordTest, SetReplacesExisting) {
+  Record r;
+  r.set("a", 1).set("b", 2).set("a", 3);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at("a").as_int(), 3);
+}
+
+TEST(RecordTest, FindAndHas) {
+  Record r;
+  r.set("x", "v");
+  EXPECT_TRUE(r.has("x"));
+  EXPECT_FALSE(r.has("y"));
+  EXPECT_TRUE(r.find("x").has_value());
+  EXPECT_FALSE(r.find("y").has_value());
+  EXPECT_THROW(r.at("y"), std::out_of_range);
+}
+
+TEST(RecordTest, PreservesFieldOrder) {
+  Record r;
+  r.set("z", 1).set("a", 2);
+  EXPECT_EQ(r.field(0).name, "z");
+  EXPECT_EQ(r.field(1).name, "a");
+}
+
+TEST(RecordTest, RoundTrip) {
+  Record r;
+  r.set("name", "gradient")
+      .set("source", NodeId{7})
+      .set("hopcount", 3)
+      .set("pos", Vec2{1, 2});
+  Writer w;
+  r.encode(w);
+  Reader rd(w.bytes());
+  const Record decoded = Record::decode(rd);
+  EXPECT_EQ(decoded, r);
+}
+
+TEST(RecordTest, AbsurdFieldCountRejected) {
+  Writer w;
+  w.uvarint(1'000'000);
+  Reader r(w.bytes());
+  EXPECT_THROW(Record::decode(r), DecodeError);
+}
+
+TEST(RecordTest, StrMentionsFields) {
+  Record r;
+  r.set("k", 7);
+  EXPECT_EQ(r.str(), "(k=7)");
+}
+
+struct Animal {
+  virtual ~Animal() = default;
+  virtual int legs() const = 0;
+};
+struct Dog : Animal {
+  int legs() const override { return 4; }
+};
+struct Bird : Animal {
+  int legs() const override { return 2; }
+};
+
+TEST(RegistryTest, CreatesRegisteredTypes) {
+  TypeRegistry<Animal> reg;
+  reg.register_default<Dog>("dog");
+  reg.register_default<Bird>("bird");
+  EXPECT_TRUE(reg.knows("dog"));
+  EXPECT_FALSE(reg.knows("cat"));
+  EXPECT_EQ(reg.create("dog")->legs(), 4);
+  EXPECT_EQ(reg.create("bird")->legs(), 2);
+  EXPECT_THROW(reg.create("cat"), UnknownTypeError);
+  EXPECT_EQ(reg.tags().size(), 2u);
+}
+
+TEST(RegistryTest, ReRegistrationReplaces) {
+  TypeRegistry<Animal> reg;
+  reg.register_default<Dog>("x");
+  reg.register_default<Bird>("x");
+  EXPECT_EQ(reg.create("x")->legs(), 2);
+}
+
+}  // namespace
+}  // namespace tota::wire
