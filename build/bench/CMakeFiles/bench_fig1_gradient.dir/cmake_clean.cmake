@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gradient.dir/bench_fig1_gradient.cc.o"
+  "CMakeFiles/bench_fig1_gradient.dir/bench_fig1_gradient.cc.o.d"
+  "bench_fig1_gradient"
+  "bench_fig1_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_flocking.dir/bench_fig3_flocking.cc.o"
+  "CMakeFiles/bench_fig3_flocking.dir/bench_fig3_flocking.cc.o.d"
+  "bench_fig3_flocking"
+  "bench_fig3_flocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_flocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_routing.dir/bench_sec51_routing.cc.o"
+  "CMakeFiles/bench_sec51_routing.dir/bench_sec51_routing.cc.o.d"
+  "bench_sec51_routing"
+  "bench_sec51_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

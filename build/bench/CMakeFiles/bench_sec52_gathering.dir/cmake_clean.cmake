@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_gathering.dir/bench_sec52_gathering.cc.o"
+  "CMakeFiles/bench_sec52_gathering.dir/bench_sec52_gathering.cc.o.d"
+  "bench_sec52_gathering"
+  "bench_sec52_gathering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_gathering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

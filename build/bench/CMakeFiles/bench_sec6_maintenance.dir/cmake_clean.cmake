@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_maintenance.dir/bench_sec6_maintenance.cc.o"
+  "CMakeFiles/bench_sec6_maintenance.dir/bench_sec6_maintenance.cc.o.d"
+  "bench_sec6_maintenance"
+  "bench_sec6_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flocking_demo.dir/flocking_demo.cpp.o"
+  "CMakeFiles/flocking_demo.dir/flocking_demo.cpp.o.d"
+  "flocking_demo"
+  "flocking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flocking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

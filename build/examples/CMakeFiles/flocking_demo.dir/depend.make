@@ -1,0 +1,2 @@
+# Empty dependencies file for flocking_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_gathering.dir/info_gathering.cpp.o"
+  "CMakeFiles/info_gathering.dir/info_gathering.cpp.o.d"
+  "info_gathering"
+  "info_gathering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_gathering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

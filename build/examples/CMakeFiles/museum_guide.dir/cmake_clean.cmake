@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_guide.dir/museum_guide.cpp.o"
+  "CMakeFiles/museum_guide.dir/museum_guide.cpp.o.d"
+  "museum_guide"
+  "museum_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_meeting.dir/spatial_meeting.cpp.o"
+  "CMakeFiles/spatial_meeting.dir/spatial_meeting.cpp.o.d"
+  "spatial_meeting"
+  "spatial_meeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_meeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/content_store.cc" "src/apps/CMakeFiles/tota_apps.dir/content_store.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/content_store.cc.o.d"
+  "/root/repo/src/apps/crowd.cc" "src/apps/CMakeFiles/tota_apps.dir/crowd.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/crowd.cc.o.d"
+  "/root/repo/src/apps/flocking.cc" "src/apps/CMakeFiles/tota_apps.dir/flocking.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/flocking.cc.o.d"
+  "/root/repo/src/apps/gathering.cc" "src/apps/CMakeFiles/tota_apps.dir/gathering.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/gathering.cc.o.d"
+  "/root/repo/src/apps/meeting.cc" "src/apps/CMakeFiles/tota_apps.dir/meeting.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/meeting.cc.o.d"
+  "/root/repo/src/apps/routing.cc" "src/apps/CMakeFiles/tota_apps.dir/routing.cc.o" "gcc" "src/apps/CMakeFiles/tota_apps.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tota/CMakeFiles/tota_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuples/CMakeFiles/tota_tuples.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

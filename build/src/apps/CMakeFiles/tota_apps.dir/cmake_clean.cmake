@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_apps.dir/content_store.cc.o"
+  "CMakeFiles/tota_apps.dir/content_store.cc.o.d"
+  "CMakeFiles/tota_apps.dir/crowd.cc.o"
+  "CMakeFiles/tota_apps.dir/crowd.cc.o.d"
+  "CMakeFiles/tota_apps.dir/flocking.cc.o"
+  "CMakeFiles/tota_apps.dir/flocking.cc.o.d"
+  "CMakeFiles/tota_apps.dir/gathering.cc.o"
+  "CMakeFiles/tota_apps.dir/gathering.cc.o.d"
+  "CMakeFiles/tota_apps.dir/meeting.cc.o"
+  "CMakeFiles/tota_apps.dir/meeting.cc.o.d"
+  "CMakeFiles/tota_apps.dir/routing.cc.o"
+  "CMakeFiles/tota_apps.dir/routing.cc.o.d"
+  "libtota_apps.a"
+  "libtota_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

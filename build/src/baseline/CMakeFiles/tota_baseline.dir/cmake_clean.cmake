@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_baseline.dir/flood_routing.cc.o"
+  "CMakeFiles/tota_baseline.dir/flood_routing.cc.o.d"
+  "CMakeFiles/tota_baseline.dir/local_space.cc.o"
+  "CMakeFiles/tota_baseline.dir/local_space.cc.o.d"
+  "libtota_baseline.a"
+  "libtota_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_common.dir/geometry.cc.o"
+  "CMakeFiles/tota_common.dir/geometry.cc.o.d"
+  "CMakeFiles/tota_common.dir/ids.cc.o"
+  "CMakeFiles/tota_common.dir/ids.cc.o.d"
+  "CMakeFiles/tota_common.dir/logging.cc.o"
+  "CMakeFiles/tota_common.dir/logging.cc.o.d"
+  "CMakeFiles/tota_common.dir/rng.cc.o"
+  "CMakeFiles/tota_common.dir/rng.cc.o.d"
+  "CMakeFiles/tota_common.dir/stats.cc.o"
+  "CMakeFiles/tota_common.dir/stats.cc.o.d"
+  "libtota_common.a"
+  "libtota_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/render.cc" "src/emu/CMakeFiles/tota_emu.dir/render.cc.o" "gcc" "src/emu/CMakeFiles/tota_emu.dir/render.cc.o.d"
+  "/root/repo/src/emu/world.cc" "src/emu/CMakeFiles/tota_emu.dir/world.cc.o" "gcc" "src/emu/CMakeFiles/tota_emu.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tota/CMakeFiles/tota_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tota_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuples/CMakeFiles/tota_tuples.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

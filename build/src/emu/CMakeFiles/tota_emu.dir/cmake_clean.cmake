@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_emu.dir/render.cc.o"
+  "CMakeFiles/tota_emu.dir/render.cc.o.d"
+  "CMakeFiles/tota_emu.dir/world.cc.o"
+  "CMakeFiles/tota_emu.dir/world.cc.o.d"
+  "libtota_emu.a"
+  "libtota_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

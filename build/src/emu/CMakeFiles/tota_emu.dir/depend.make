@@ -1,0 +1,2 @@
+# Empty dependencies file for tota_emu.
+# This may be replaced when dependencies are built.

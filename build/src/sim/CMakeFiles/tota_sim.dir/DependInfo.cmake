@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/tota_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/mobility.cc" "src/sim/CMakeFiles/tota_sim.dir/mobility.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/mobility.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/tota_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/radio.cc" "src/sim/CMakeFiles/tota_sim.dir/radio.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/radio.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/tota_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/topology.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/tota_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/tota_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

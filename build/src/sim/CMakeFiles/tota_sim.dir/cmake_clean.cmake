@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tota_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tota_sim.dir/mobility.cc.o"
+  "CMakeFiles/tota_sim.dir/mobility.cc.o.d"
+  "CMakeFiles/tota_sim.dir/network.cc.o"
+  "CMakeFiles/tota_sim.dir/network.cc.o.d"
+  "CMakeFiles/tota_sim.dir/radio.cc.o"
+  "CMakeFiles/tota_sim.dir/radio.cc.o.d"
+  "CMakeFiles/tota_sim.dir/topology.cc.o"
+  "CMakeFiles/tota_sim.dir/topology.cc.o.d"
+  "CMakeFiles/tota_sim.dir/trace.cc.o"
+  "CMakeFiles/tota_sim.dir/trace.cc.o.d"
+  "libtota_sim.a"
+  "libtota_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tota/access.cc" "src/tota/CMakeFiles/tota_core.dir/access.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/access.cc.o.d"
+  "/root/repo/src/tota/engine.cc" "src/tota/CMakeFiles/tota_core.dir/engine.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/engine.cc.o.d"
+  "/root/repo/src/tota/events.cc" "src/tota/CMakeFiles/tota_core.dir/events.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/events.cc.o.d"
+  "/root/repo/src/tota/middleware.cc" "src/tota/CMakeFiles/tota_core.dir/middleware.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/middleware.cc.o.d"
+  "/root/repo/src/tota/pattern.cc" "src/tota/CMakeFiles/tota_core.dir/pattern.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/pattern.cc.o.d"
+  "/root/repo/src/tota/tuple.cc" "src/tota/CMakeFiles/tota_core.dir/tuple.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/tuple.cc.o.d"
+  "/root/repo/src/tota/tuple_space.cc" "src/tota/CMakeFiles/tota_core.dir/tuple_space.cc.o" "gcc" "src/tota/CMakeFiles/tota_core.dir/tuple_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

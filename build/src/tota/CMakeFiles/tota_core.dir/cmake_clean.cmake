@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_core.dir/access.cc.o"
+  "CMakeFiles/tota_core.dir/access.cc.o.d"
+  "CMakeFiles/tota_core.dir/engine.cc.o"
+  "CMakeFiles/tota_core.dir/engine.cc.o.d"
+  "CMakeFiles/tota_core.dir/events.cc.o"
+  "CMakeFiles/tota_core.dir/events.cc.o.d"
+  "CMakeFiles/tota_core.dir/middleware.cc.o"
+  "CMakeFiles/tota_core.dir/middleware.cc.o.d"
+  "CMakeFiles/tota_core.dir/pattern.cc.o"
+  "CMakeFiles/tota_core.dir/pattern.cc.o.d"
+  "CMakeFiles/tota_core.dir/tuple.cc.o"
+  "CMakeFiles/tota_core.dir/tuple.cc.o.d"
+  "CMakeFiles/tota_core.dir/tuple_space.cc.o"
+  "CMakeFiles/tota_core.dir/tuple_space.cc.o.d"
+  "libtota_core.a"
+  "libtota_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuples/all.cc" "src/tuples/CMakeFiles/tota_tuples.dir/all.cc.o" "gcc" "src/tuples/CMakeFiles/tota_tuples.dir/all.cc.o.d"
+  "/root/repo/src/tuples/field_tuple.cc" "src/tuples/CMakeFiles/tota_tuples.dir/field_tuple.cc.o" "gcc" "src/tuples/CMakeFiles/tota_tuples.dir/field_tuple.cc.o.d"
+  "/root/repo/src/tuples/message_tuple.cc" "src/tuples/CMakeFiles/tota_tuples.dir/message_tuple.cc.o" "gcc" "src/tuples/CMakeFiles/tota_tuples.dir/message_tuple.cc.o.d"
+  "/root/repo/src/tuples/modifier_tuple.cc" "src/tuples/CMakeFiles/tota_tuples.dir/modifier_tuple.cc.o" "gcc" "src/tuples/CMakeFiles/tota_tuples.dir/modifier_tuple.cc.o.d"
+  "/root/repo/src/tuples/nav_tuple.cc" "src/tuples/CMakeFiles/tota_tuples.dir/nav_tuple.cc.o" "gcc" "src/tuples/CMakeFiles/tota_tuples.dir/nav_tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tota/CMakeFiles/tota_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_tuples.dir/all.cc.o"
+  "CMakeFiles/tota_tuples.dir/all.cc.o.d"
+  "CMakeFiles/tota_tuples.dir/field_tuple.cc.o"
+  "CMakeFiles/tota_tuples.dir/field_tuple.cc.o.d"
+  "CMakeFiles/tota_tuples.dir/message_tuple.cc.o"
+  "CMakeFiles/tota_tuples.dir/message_tuple.cc.o.d"
+  "CMakeFiles/tota_tuples.dir/modifier_tuple.cc.o"
+  "CMakeFiles/tota_tuples.dir/modifier_tuple.cc.o.d"
+  "CMakeFiles/tota_tuples.dir/nav_tuple.cc.o"
+  "CMakeFiles/tota_tuples.dir/nav_tuple.cc.o.d"
+  "libtota_tuples.a"
+  "libtota_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtota_tuples.a"
+)

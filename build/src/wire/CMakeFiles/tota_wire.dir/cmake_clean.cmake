@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tota_wire.dir/buffer.cc.o"
+  "CMakeFiles/tota_wire.dir/buffer.cc.o.d"
+  "CMakeFiles/tota_wire.dir/record.cc.o"
+  "CMakeFiles/tota_wire.dir/record.cc.o.d"
+  "CMakeFiles/tota_wire.dir/value.cc.o"
+  "CMakeFiles/tota_wire.dir/value.cc.o.d"
+  "libtota_wire.a"
+  "libtota_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tota_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

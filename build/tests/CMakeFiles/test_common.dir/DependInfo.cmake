@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/tota_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tota_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tota_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tota_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuples/CMakeFiles/tota_tuples.dir/DependInfo.cmake"
+  "/root/repo/build/src/tota/CMakeFiles/tota_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tota_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tota_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_content_store.dir/test_content_store.cc.o"
+  "CMakeFiles/test_content_store.dir/test_content_store.cc.o.d"
+  "test_content_store"
+  "test_content_store.pdb"
+  "test_content_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_content_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

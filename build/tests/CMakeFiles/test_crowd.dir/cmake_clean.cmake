@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowd.dir/test_crowd.cc.o"
+  "CMakeFiles/test_crowd.dir/test_crowd.cc.o.d"
+  "test_crowd"
+  "test_crowd.pdb"
+  "test_crowd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuple_space.dir/test_tuple_space.cc.o"
+  "CMakeFiles/test_tuple_space.dir/test_tuple_space.cc.o.d"
+  "test_tuple_space"
+  "test_tuple_space.pdb"
+  "test_tuple_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuple_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

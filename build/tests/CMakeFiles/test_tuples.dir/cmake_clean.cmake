@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuples.dir/test_tuples.cc.o"
+  "CMakeFiles/test_tuples.dir/test_tuples.cc.o.d"
+  "test_tuples"
+  "test_tuples.pdb"
+  "test_tuples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
