@@ -173,5 +173,6 @@ int main() {
       "(the stretch rebuilds one probe round per ring) while repair\n"
       "traffic stays flat in this quiet scenario — the window buys\n"
       "zombie-suppression under cross-traffic, not cheaper repairs.\n");
+  exp::emit_json("ablations");
   return 0;
 }

@@ -59,5 +59,6 @@ int main() {
   std::printf(
       "\nexpected shape: accuracy 1.0 everywhere, ~1 tx/node, cover time\n"
       "growing linearly with network diameter (expanding-ring flood).\n");
+  exp::emit_json("fig1_gradient");
   return 0;
 }

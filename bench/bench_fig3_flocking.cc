@@ -101,5 +101,6 @@ int main() {
       "accordingly.  result: initial=%.2f final=%.2f -> %s\n",
       target_hops - 1, target_hops, initial_err, final_err,
       final_err < initial_err ? "reproduced" : "NOT reproduced");
+  exp::emit_json("fig3_flocking");
   return 0;
 }

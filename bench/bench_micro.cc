@@ -2,6 +2,9 @@
 // matching, tuple-space operations, and single-node engine processing.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "obs/export.h"
 #include "tota/engine.h"
 #include "tota/tuple_space.h"
 #include "tuples/all.h"
@@ -123,4 +126,16 @@ BENCHMARK(BM_EngineReceive);
 }  // namespace
 }  // namespace tota
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the BENCH_micro.json export every experiment
+// binary owes (docs/OBSERVABILITY.md): the engine benchmarks above
+// record into obs::default_hub() like any other engine.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string path =
+      tota::obs::write_bench_json("micro", tota::obs::default_hub());
+  std::printf("[obs] wrote %s\n", path.c_str());
+  return 0;
+}

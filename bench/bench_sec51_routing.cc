@@ -169,5 +169,6 @@ int main() {
       "expected shape: delivery stays high as speed rises (the middleware\n"
       "re-shapes the overlay), at growing transmission cost (repair +\n"
       "flood fallback when the structure is momentarily stale).\n");
+  exp::emit_json("sec51_routing");
   return 0;
 }

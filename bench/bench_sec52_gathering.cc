@@ -134,5 +134,6 @@ int main() {
         "expected shape: accuracy returns to ~1.0 a few seconds after each\n"
         "move — the middleware re-shapes the advert field automatically.\n");
   }
+  exp::emit_json("sec52_gathering");
   return 0;
 }

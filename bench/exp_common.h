@@ -2,14 +2,21 @@
 //
 // Each binary reproduces one table/figure from DESIGN.md §2 and prints
 // its rows to stdout; EXPERIMENTS.md records a snapshot of this output
-// next to what the paper asserts.
+// next to what the paper asserts.  In addition to the text tables, every
+// binary calls emit_json() once before exiting, writing the
+// machine-readable BENCH_<name>.json described in docs/OBSERVABILITY.md
+// (manet_options() points every world at obs::default_hub(), so the
+// file aggregates the whole run; a sweep that needs isolated numbers
+// overrides Options::hub with a local Hub and merges it back).
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "emu/world.h"
+#include "obs/export.h"
 #include "tuples/all.h"
 
 namespace tota::exp {
@@ -19,12 +26,25 @@ inline emu::World::Options manet_options(std::uint64_t seed,
   emu::World::Options o;
   o.net.radio.range_m = range_m;
   o.net.seed = seed;
+  // Accumulate every world of this binary into the process hub, which
+  // is what emit_json() exports.  (Worlds default to a private hub.)
+  o.hub = &obs::default_hub();
   return o;
 }
 
 /// Prints a horizontal rule + centered header for one experiment section.
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Writes BENCH_<name>.json (metrics + trace of `hub`, or of the process
+/// default hub when omitted) into the working directory and says so on
+/// stdout.  Call once, at the end of main.
+inline void emit_json(const std::string& name,
+                      const obs::Hub* hub = nullptr) {
+  const std::string path = obs::write_bench_json(
+      name, hub != nullptr ? *hub : obs::default_hub());
+  std::printf("\n[obs] wrote %s\n", path.c_str());
 }
 
 /// Prints one row of "name value" pairs, aligned.

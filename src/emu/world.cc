@@ -30,7 +30,9 @@ class HostAdapter final : public sim::Host {
 
 }  // namespace
 
-World::World(Options options) : net_(options.net), options_(options) {
+World::World(Options options)
+    : net_(options.net, options.hub != nullptr ? options.hub : &owned_hub_),
+      options_(options) {
   tuples::register_standard_tuples();
 }
 
@@ -39,8 +41,8 @@ NodeId World::spawn(Vec2 position,
   const NodeId id = net_.add_node(position, std::move(mobility));
   NodeCell cell;
   cell.platform = std::make_unique<SimPlatform>(net_, id);
-  cell.middleware =
-      std::make_unique<Middleware>(id, *cell.platform, options_.maintenance);
+  cell.middleware = std::make_unique<Middleware>(
+      id, *cell.platform, options_.maintenance, &net_.hub());
   cell.adapter = std::make_unique<HostAdapter>(*cell.middleware);
   net_.attach(id, cell.adapter.get());
   cells_.emplace(id, std::move(cell));

@@ -19,12 +19,24 @@
 
 namespace tota::emu {
 
+/// World construction knobs.  Defined at namespace scope (not nested) so
+/// its member initializers are complete where World's constructor uses
+/// the struct as a default argument; spell it World::Options.
+struct WorldOptions {
+  sim::NetworkParams net;
+  MaintenanceOptions maintenance;
+  /// Observability hub the network and every node record into; nullptr
+  /// (the default) gives the world a private hub, so identical worlds
+  /// produce identical metrics regardless of what else ran in the
+  /// process.  Pass &obs::default_hub() to accumulate process-wide
+  /// (what the bench harness does so BENCH_*.json sees every world), or
+  /// any local Hub for per-sweep isolation with explicit merging.
+  obs::Hub* hub = nullptr;
+};
+
 class World {
  public:
-  struct Options {
-    sim::NetworkParams net;
-    MaintenanceOptions maintenance;
-  };
+  using Options = WorldOptions;
 
   explicit World(Options options = {});
 
@@ -56,6 +68,9 @@ class World {
   [[nodiscard]] const Middleware& mw(NodeId id) const;
   [[nodiscard]] sim::Network& net() { return net_; }
   [[nodiscard]] const sim::Network& net() const { return net_; }
+  /// The observability hub this world records into (Options::hub, or
+  /// this world's private hub).
+  [[nodiscard]] obs::Hub& hub() { return net_.hub(); }
   [[nodiscard]] std::vector<NodeId> nodes() const { return net_.nodes(); }
 
   // --- time ---------------------------------------------------------------------
@@ -71,6 +86,7 @@ class World {
     std::unique_ptr<sim::Host> adapter;
   };
 
+  obs::Hub owned_hub_;  // used when Options::hub is null; before net_
   sim::Network net_;
   Options options_;
   std::unordered_map<NodeId, NodeCell> cells_;

@@ -1,0 +1,123 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tota::obs {
+
+namespace {
+
+Json histogram_to_json(const Histogram& h) {
+  Json::Object o;
+  o.emplace("count", Json(static_cast<std::int64_t>(h.count())));
+  if (!h.empty()) {
+    o.emplace("sum", Json(h.sum()));
+    o.emplace("min", Json(h.min()));
+    o.emplace("max", Json(h.max()));
+    o.emplace("mean", Json(h.mean()));
+    o.emplace("p50", Json(h.quantile(0.50)));
+    o.emplace("p90", Json(h.quantile(0.90)));
+    o.emplace("p95", Json(h.quantile(0.95)));
+    o.emplace("p99", Json(h.quantile(0.99)));
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+Json metrics_to_json(const MetricsRegistry& registry) {
+  Json::Object counters;
+  for (const auto& [name, c] : registry.counters()) {
+    counters.emplace(name, Json(c.value()));
+  }
+  Json::Object gauges;
+  for (const auto& [name, g] : registry.gauges()) {
+    gauges.emplace(name, Json(g.value()));
+  }
+  Json::Object histograms;
+  for (const auto& [name, h] : registry.histograms()) {
+    histograms.emplace(name, histogram_to_json(h));
+  }
+  Json::Object out;
+  out.emplace("metrics", Json(std::move(counters)));
+  out.emplace("gauges", Json(std::move(gauges)));
+  out.emplace("histograms", Json(std::move(histograms)));
+  return Json(std::move(out));
+}
+
+Json trace_to_json(const Tracer& tracer, std::size_t max_spans) {
+  const auto spans = tracer.snapshot();
+  const std::size_t start =
+      spans.size() > max_spans ? spans.size() - max_spans : 0;
+  Json::Array rows;
+  rows.reserve(spans.size() - start);
+  for (std::size_t i = start; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    Json::Object row;
+    row.emplace("t_us", Json(s.t.micros()));
+    row.emplace("node", Json(static_cast<std::int64_t>(s.node.value())));
+    row.emplace("stage", Json(stage_name(s.stage)));
+    row.emplace("uid", Json(std::to_string(s.cause.origin().value()) + ":" +
+                            std::to_string(s.cause.sequence())));
+    row.emplace("hop", Json(s.hop));
+    rows.push_back(Json(std::move(row)));
+  }
+  Json::Object out;
+  out.emplace("capacity", Json(static_cast<std::int64_t>(tracer.capacity())));
+  out.emplace("recorded", Json(static_cast<std::int64_t>(tracer.recorded())));
+  out.emplace("dropped", Json(static_cast<std::int64_t>(tracer.dropped())));
+  out.emplace("spans", Json(std::move(rows)));
+  return Json(std::move(out));
+}
+
+Json bench_to_json(const std::string& bench_name, const Hub& hub,
+                   std::size_t max_spans) {
+  Json doc = metrics_to_json(hub.metrics);
+  doc.as_object().emplace("schema", Json(kBenchSchema));
+  doc.as_object().emplace("bench", Json(bench_name));
+  doc.as_object().emplace("trace", trace_to_json(hub.tracer, max_spans));
+  return doc;
+}
+
+std::string write_bench_json(const std::string& bench_name, const Hub& hub,
+                             const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + bench_name + ".json";
+  const std::string body = bench_to_json(bench_name, hub).dump(2) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+std::string metrics_to_csv(const MetricsRegistry& registry) {
+  std::string out = "name,kind,value\n";
+  const auto row = [&out](const std::string& name, const char* kind,
+                          const std::string& value) {
+    out += name;
+    out += ',';
+    out += kind;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const auto& [name, c] : registry.counters()) {
+    row(name, "counter", std::to_string(c.value()));
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    row(name, "gauge", std::to_string(g.value()));
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    row(name + ".count", "histogram", std::to_string(h.count()));
+    if (h.empty()) continue;
+    row(name + ".mean", "histogram", std::to_string(h.mean()));
+    row(name + ".p50", "histogram", std::to_string(h.quantile(0.5)));
+    row(name + ".p95", "histogram", std::to_string(h.quantile(0.95)));
+    row(name + ".max", "histogram", std::to_string(h.max()));
+  }
+  return out;
+}
+
+}  // namespace tota::obs

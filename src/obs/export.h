@@ -1,0 +1,47 @@
+// Exporters: turn a Hub's metrics and trace into JSON / CSV documents.
+//
+// The flagship artefact is BENCH_<name>.json — every experiment binary
+// writes one next to its text output (bench/exp_common.h calls
+// write_bench_json() at the end of main), giving the repository a
+// machine-readable perf trajectory.  The schema is documented, with a
+// worked example, in docs/OBSERVABILITY.md; the top-level "schema" key
+// names the format version so downstream tooling can evolve.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/hub.h"
+#include "obs/json.h"
+
+namespace tota::obs {
+
+/// Schema tag written into every exported document.
+inline constexpr const char* kBenchSchema = "tota-bench-v1";
+
+/// The "metrics"/"gauges"/"histograms" sections: counter name → integer
+/// value, gauge name → number, histogram name → {count,min,max,mean,
+/// p50,p90,p95,p99,sum} summaries.
+[[nodiscard]] Json metrics_to_json(const MetricsRegistry& registry);
+
+/// The "trace" section: {capacity, recorded, dropped, spans:[…]} with at
+/// most `max_spans` (newest) spans, each {t_us, node, stage, uid, hop}.
+[[nodiscard]] Json trace_to_json(const Tracer& tracer,
+                                 std::size_t max_spans = 512);
+
+/// Full document: {schema, bench, metrics, gauges, histograms, trace}.
+[[nodiscard]] Json bench_to_json(const std::string& bench_name,
+                                 const Hub& hub,
+                                 std::size_t max_spans = 512);
+
+/// Serializes bench_to_json() and writes it to
+/// `<dir>/BENCH_<bench_name>.json`; returns the path written.  Throws
+/// std::runtime_error when the file cannot be opened.
+std::string write_bench_json(const std::string& bench_name, const Hub& hub,
+                             const std::string& dir = ".");
+
+/// "name,kind,value" rows (histograms expand to one row per summary
+/// statistic) for spreadsheet-side consumption.
+[[nodiscard]] std::string metrics_to_csv(const MetricsRegistry& registry);
+
+}  // namespace tota::obs

@@ -1,0 +1,10 @@
+#include "obs/hub.h"
+
+namespace tota::obs {
+
+Hub& default_hub() {
+  static Hub hub;
+  return hub;
+}
+
+}  // namespace tota::obs

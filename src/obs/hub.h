@@ -1,0 +1,34 @@
+// The observability hub: one MetricsRegistry + one Tracer, shared by
+// every component observing the same world.
+//
+// A simulated world (emu::World), its Network, and every per-node Engine
+// all record into the same Hub, so counters aggregate across nodes and
+// the trace interleaves the whole system's pipeline — which is what
+// benches and the JSON exporter want.  Components take the hub as an
+// optional constructor argument.  Defaulting rules: a World or Network
+// constructed with nullptr owns a *private* hub, so its counters reflect
+// only its own traffic (two identical runs stay bit-identical — the
+// determinism tests rely on this); an Engine/Middleware given nullptr
+// records into the process-wide default_hub() (in a World, each node's
+// middleware is handed the world's hub explicitly, so this fallback only
+// matters for standalone engines).  Benches opt into aggregation:
+// exp::manet_options() points every world at default_hub(), so one
+// BENCH_*.json tells the whole binary's story, while a sweep wanting
+// per-row numbers passes its own Hub and merge_from()s it back.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace tota::obs {
+
+struct Hub {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// The process-wide hub used when none is supplied.  Never destroyed
+/// before its users (function-local static).
+[[nodiscard]] Hub& default_hub();
+
+}  // namespace tota::obs

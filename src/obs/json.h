@@ -1,0 +1,117 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// Just enough JSON for the observability exporters (obs/export.h) and
+// their round-trip tests — no external dependency, no streaming, no
+// comments/trailing-comma extensions.  Objects keep their keys sorted
+// (std::map), so serialization is deterministic: the same metrics always
+// produce byte-identical BENCH_*.json files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace tota::obs {
+
+/// Thrown by Json::parse on malformed input; what() points at the
+/// offending byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value: null, bool, integer, double, string, array, object.
+/// Integers are kept distinct from doubles so counters survive a
+/// round-trip exactly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(double d) : value_(d) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_double() const {
+    return std::holds_alternative<double>(value_);
+  }
+  /// Either numeric alternative.
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Checked accessors; throw std::bad_variant_access on kind mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(value_);
+  }
+  /// Numeric value as double regardless of which alternative holds it.
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(as_int()) : std::get<double>(value_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    return std::get<Array>(value_);
+  }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(value_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(value_); }
+
+  /// Object member access; creates (mutable) / throws std::out_of_range
+  /// (const) like std::map.
+  Json& operator[](const std::string& key) {
+    return std::get<Object>(value_)[key];
+  }
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    return std::get<Object>(value_).at(key);
+  }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+
+  /// Serializes; indent < 0 → compact one-liner, otherwise pretty-print
+  /// with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               Array, Object>
+      value_;
+};
+
+}  // namespace tota::obs

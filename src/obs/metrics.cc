@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tota::obs {
+
+namespace {
+
+// 8 linear sub-buckets per power-of-two octave.  The widest (first) one
+// spans [2^e, 9/8 * 2^e], so a geometric-midpoint estimate is within
+// sqrt(9/8) ≈ ±6% of any sample in its bucket.
+constexpr int kSubBuckets = 8;
+// Samples <= 0 (or denormal-small) collapse into this sentinel bucket.
+constexpr int kZeroBucket = std::numeric_limits<int>::min();
+
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return kZeroBucket;
+  int exponent = 0;
+  const double fraction = std::frexp(value, &exponent);  // in [0.5, 1)
+  // Linear position of the fraction inside its octave, 0..kSubBuckets-1.
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((fraction - 0.5) * 2.0 * kSubBuckets));
+  return exponent * kSubBuckets + sub;
+}
+
+double Histogram::bucket_representative(int index) {
+  if (index == kZeroBucket) return 0.0;
+  const int exponent = (index >= 0 ? index : index - (kSubBuckets - 1)) /
+                       kSubBuckets;  // floor division
+  const int sub = index - exponent * kSubBuckets;
+  const double lower =
+      std::ldexp(0.5 + 0.5 * static_cast<double>(sub) / kSubBuckets,
+                 exponent);
+  const double upper =
+      std::ldexp(0.5 + 0.5 * static_cast<double>(sub + 1) / kSubBuckets,
+                 exponent);
+  return std::sqrt(lower * upper);  // geometric midpoint
+}
+
+void Histogram::record(double value) {
+#if TOTA_OBS_ENABLED
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+#else
+  (void)value;
+#endif
+}
+
+double Histogram::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Histogram::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank, mirroring Summary::quantile so the two agree up to
+  // bucket resolution.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, bucket_count] : buckets_) {
+    cumulative += bucket_count;
+    if (cumulative >= rank) {
+      // Exact extremes beat a bucket midpoint at the ends.
+      return std::clamp(bucket_representative(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [index, bucket_count] : other.buckets_) {
+    buckets_[index] += bucket_count;
+  }
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::string Histogram::str() const {
+  if (count_ == 0) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p95=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                quantile(0.5), quantile(0.95), min(), max());
+  return buf;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+std::int64_t MetricsRegistry::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge_from(h);
+  }
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace tota::obs

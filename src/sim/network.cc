@@ -7,13 +7,21 @@
 
 namespace tota::sim {
 
-Network::Network(NetworkParams params)
+Network::Network(NetworkParams params, obs::Hub* hub)
     : params_(params),
+      owned_hub_(hub != nullptr ? nullptr : std::make_unique<obs::Hub>()),
+      hub_(hub != nullptr ? *hub : *owned_hub_),
       rng_(params.seed),
       topology_(params.radio.range_m, params.wired
                                           ? Topology::Mode::kExplicit
                                           : Topology::Mode::kDisc),
-      radio_(params.radio) {}
+      radio_(params.radio),
+      radio_tx_(hub_.metrics.counter("radio.tx")),
+      radio_tx_bytes_(hub_.metrics.counter("radio.tx_bytes")),
+      radio_rx_(hub_.metrics.counter("radio.rx")),
+      radio_lost_(hub_.metrics.counter("radio.lost")),
+      link_up_(hub_.metrics.counter("link.up")),
+      link_down_(hub_.metrics.counter("link.down")) {}
 
 NodeId Network::add_node(Vec2 position,
                          std::unique_ptr<MobilityModel> mobility) {
@@ -84,21 +92,21 @@ MobilityModel* Network::mobility(NodeId id) {
 
 void Network::broadcast(NodeId from, wire::Bytes payload) {
   if (!topology_.contains(from)) return;  // sender died mid-flight
-  counters_.add("radio.tx");
-  counters_.add("radio.tx_bytes", static_cast<std::int64_t>(payload.size()));
+  radio_tx_.inc();
+  radio_tx_bytes_.inc(static_cast<std::int64_t>(payload.size()));
   const auto receivers = topology_.neighbors(from);
   // One shared payload for all receivers of this frame.
   auto shared = std::make_shared<const wire::Bytes>(std::move(payload));
   for (const NodeId to : receivers) {
     if (!radio_.delivered(rng_)) {
-      counters_.add("radio.lost");
+      radio_lost_.inc();
       continue;
     }
     const SimTime delay = radio_.delay(rng_, shared->size());
     events_.schedule_after(delay, [this, from, to, shared] {
       const auto it = nodes_.find(to);
       if (it == nodes_.end() || it->second.host == nullptr) return;
-      counters_.add("radio.rx");
+      radio_rx_.inc();
       it->second.host->on_datagram(from, *shared);
     });
   }
@@ -144,13 +152,13 @@ void Network::refresh_links() {
     std::sort(downs.begin(), downs.end());
     for (const NodeId old : downs) {
       state.neighbors.erase(old);
-      counters_.add("link.down");
+      link_down_.inc();
       notify_link(id, old, /*up=*/false);
     }
     for (const NodeId fresh : current_vec) {  // already sorted
       if (!state.neighbors.count(fresh)) {
         state.neighbors.insert(fresh);
-        counters_.add("link.up");
+        link_up_.inc();
         notify_link(id, fresh, /*up=*/true);
       }
     }

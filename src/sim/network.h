@@ -15,7 +15,7 @@
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/rng.h"
-#include "common/stats.h"
+#include "obs/hub.h"
 #include "sim/event_queue.h"
 #include "sim/mobility.h"
 #include "sim/node.h"
@@ -43,7 +43,11 @@ struct NetworkParams {
 
 class Network {
  public:
-  explicit Network(NetworkParams params);
+  /// `hub` is where the network records its metrics (radio.tx/rx/…, see
+  /// docs/OBSERVABILITY.md); nullptr (the default) gives the network a
+  /// private hub, so its counters only ever reflect its own traffic.
+  /// A non-null hub must outlive the network.
+  explicit Network(NetworkParams params, obs::Hub* hub = nullptr);
 
   // --- population -------------------------------------------------------
 
@@ -102,7 +106,19 @@ class Network {
   // --- introspection -------------------------------------------------------
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
-  [[nodiscard]] Counters& counters() { return counters_; }
+  /// The metrics registry this network records into (shared with the
+  /// middleware instances observing the same hub).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return hub_.metrics; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return hub_.metrics;
+  }
+  /// Legacy name for metrics() kept for the pre-obs API
+  /// (`counters().get("radio.tx")` still reads the radio tallies).
+  [[nodiscard]] const obs::MetricsRegistry& counters() const {
+    return hub_.metrics;
+  }
+  /// The full observability hub (metrics + tracer).
+  [[nodiscard]] obs::Hub& hub() { return hub_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const NetworkParams& params() const { return params_; }
   [[nodiscard]] std::vector<NodeId> nodes() const { return topology_.nodes(); }
@@ -127,11 +143,19 @@ class Network {
   void mobility_tick();
 
   NetworkParams params_;
+  std::unique_ptr<obs::Hub> owned_hub_;  // set when constructed hub-less
+  obs::Hub& hub_;
   Rng rng_;
   EventQueue events_;
   Topology topology_;
   Radio radio_;
-  Counters counters_;
+  // Pre-registered handles — the radio hot path never does a name lookup.
+  obs::Counter& radio_tx_;
+  obs::Counter& radio_tx_bytes_;
+  obs::Counter& radio_rx_;
+  obs::Counter& radio_lost_;
+  obs::Counter& link_up_;
+  obs::Counter& link_down_;
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t next_node_ = 1;
   bool mobility_scheduled_ = false;

@@ -6,13 +6,37 @@
 
 namespace tota {
 
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
+    : inject(registry.counter("engine.inject")),
+      store(registry.counter("engine.store")),
+      propagate(registry.counter("engine.propagate")),
+      drop_enter(registry.counter("engine.drop.enter")),
+      drop_duplicate(registry.counter("engine.drop.duplicate")),
+      drop_holddown(registry.counter("engine.drop.holddown")),
+      drop_passthrough(registry.counter("engine.drop.passthrough")),
+      retire(registry.counter("engine.retire")),
+      decode_fail(registry.counter("engine.decode_fail")),
+      maint_link_up_reprop(registry.counter("maint.link_up_reprop")),
+      maint_retract_started(registry.counter("maint.retract_started")),
+      maint_retract_cascaded(registry.counter("maint.retract_cascaded")),
+      maint_heal_reprop(registry.counter("maint.heal_reprop")),
+      maint_probe_tx(registry.counter("maint.probe_tx")),
+      maint_probe_answer(registry.counter("maint.probe_answer")),
+      repair_ms(registry.histogram("maint.repair_ms")) {}
+
 Engine::Engine(NodeId self, Platform& platform, TupleSpace& space,
-               EventBus& bus, MaintenanceOptions maintenance)
+               EventBus& bus, MaintenanceOptions maintenance, obs::Hub* hub)
     : self_(self),
       platform_(platform),
       space_(space),
       bus_(bus),
-      maintenance_(maintenance) {}
+      maintenance_(maintenance),
+      hub_(hub != nullptr ? *hub : obs::default_hub()),
+      metrics_(hub_.metrics) {}
+
+void Engine::trace(obs::Stage stage, const TupleUid& uid, int hop) {
+  hub_.tracer.record(platform_.now(), self_, stage, uid, hop);
+}
 
 Context Engine::make_context(NodeId from, int hop) const {
   auto* self = const_cast<Engine*>(this);  // SpaceOps is deliberately mutable
@@ -40,13 +64,18 @@ TupleUid Engine::inject(std::unique_ptr<Tuple> tuple) {
   const TupleUid uid{self_, next_sequence_++};
   tuple->set_uid(uid);
   tuple->set_hop(0);
+  metrics_.inject.inc();
+  trace(obs::Stage::kInject, uid, 0);
   process(std::move(tuple), self_);
   return uid;
 }
 
 void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
   const Context ctx = make_context(from, tuple->hop());
-  if (!tuple->decide_enter(ctx)) return;
+  if (!tuple->decide_enter(ctx)) {
+    metrics_.drop_enter.inc();
+    return;
+  }
   tuple->change_content(ctx);
 
   const TupleUid uid = tuple->uid();
@@ -54,6 +83,7 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
   const bool local = from == self_;
 
   if (existing != nullptr && !tuple->supersedes(*existing->tuple)) {
+    metrics_.drop_duplicate.inc();
     return;  // duplicate or worse copy; the stored structure stands
   }
 
@@ -61,6 +91,7 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
     // Recently retracted at a value this copy does not beat: wait out the
     // hold-down instead of re-seeding a possibly-orphaned region.  The
     // PROBE at expiry pulls the value back in if a real holder survives.
+    metrics_.drop_holddown.inc();
     return;
   }
 
@@ -77,7 +108,10 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
   if (!store && existing == nullptr) {
     // Pass-through tuples keep no replica to deduplicate against, so the
     // engine remembers their uids: each flows through a node once.
-    if (!remember_passthrough(uid)) return;
+    if (!remember_passthrough(uid)) {
+      metrics_.drop_passthrough.inc();
+      return;
+    }
   }
 
   tuple->apply_effects(ctx);
@@ -90,10 +124,14 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
         (local || !tuple->maintained()) ? NodeId{} : from;
     space_.put(tuple->clone(), parent, propagate, platform_.now());
     hold_down_.erase(uid);  // a strictly better value ends the hold early
+    metrics_.store.inc();
+    trace(obs::Stage::kStore, uid, tuple->hop());
+    record_repair(uid);
   } else if (existing != nullptr) {
     // An update talked the rule out of storing here (e.g. the content
     // moved out of the tuple's spatial scope): retire the stale replica.
     auto removed = space_.erase(uid);
+    metrics_.retire.inc();
     bus_.publish(
         Event{EventKind::kTupleRemoved, removed.get(), platform_.now()});
   }
@@ -123,6 +161,8 @@ void Engine::send_tuple(const Tuple& tuple) {
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(FrameKind::kTuple));
   tuple.encode(w);
+  metrics_.propagate.inc();
+  trace(obs::Stage::kPropagate, tuple.uid(), tuple.hop());
   platform_.broadcast(w.take());
 }
 
@@ -163,8 +203,10 @@ void Engine::on_datagram(NodeId from, std::span<const std::uint8_t> payload) {
     throw wire::DecodeError("unknown frame kind");
   } catch (const wire::DecodeError&) {
     ++decode_failures_;
+    metrics_.decode_fail.inc();
   } catch (const wire::UnknownTypeError&) {
     ++decode_failures_;
+    metrics_.decode_fail.inc();
   }
 }
 
@@ -200,6 +242,7 @@ void Engine::on_neighbor_up(NodeId neighbor) {
         send_tuple(*entry->tuple);
       }
       ++maintenance_stats_.link_up_repropagations;
+      metrics_.maint_link_up_reprop.inc();
     }
   });
 }
@@ -263,9 +306,13 @@ void Engine::retract_local(const TupleUid& uid, bool cascaded) {
   auto removed = space_.erase(uid);
   if (cascaded) {
     ++maintenance_stats_.retractions_cascaded;
+    metrics_.maint_retract_cascaded.inc();
   } else {
     ++maintenance_stats_.retractions_started;
+    metrics_.maint_retract_started.inc();
   }
+  trace(obs::Stage::kRetract, uid, removed_hop);
+  note_repair_pending(uid);
   bus_.publish(
       Event{EventKind::kTupleRemoved, removed.get(), platform_.now()});
 
@@ -283,6 +330,8 @@ void Engine::retract_local(const TupleUid& uid, bool cascaded) {
     w.uvarint(uid.sequence());
     platform_.broadcast(w.take());
     ++maintenance_stats_.probes_sent;
+    metrics_.maint_probe_tx.inc();
+    trace(obs::Stage::kProbe, uid, /*hop=*/-1);
   });
 
   wire::Writer w;
@@ -306,6 +355,8 @@ void Engine::handle_probe(const TupleUid& uid) {
   if (!justified(*entry)) return;  // don't feed a drain in progress
   send_tuple(*entry->tuple);
   ++maintenance_stats_.probe_answers;
+  metrics_.maint_probe_answer.inc();
+  trace(obs::Stage::kHeal, uid, entry->tuple->hop());
 }
 
 void Engine::handle_retract(NodeId from, const TupleUid& uid) {
@@ -324,7 +375,33 @@ void Engine::handle_retract(NodeId from, const TupleUid& uid) {
   if (entry->propagated) {
     send_tuple(*entry->tuple);
     ++maintenance_stats_.heal_repropagations;
+    metrics_.maint_heal_reprop.inc();
+    trace(obs::Stage::kHeal, uid, entry->tuple->hop());
   }
+}
+
+void Engine::note_repair_pending(const TupleUid& uid) {
+  // Keep the *first* retraction instant: the structure has been wrong
+  // since then, so a re-retraction during an ongoing repair must not
+  // reset the clock.
+  if (!repair_pending_.emplace(uid, platform_.now()).second) return;
+  repair_order_.push_back(uid);
+  if (repair_pending_.size() > maintenance_.passthrough_memory) {
+    const std::size_t evict = repair_pending_.size() / 2;
+    for (std::size_t i = 0; i < evict; ++i) {
+      repair_pending_.erase(repair_order_.front());
+      repair_order_.pop_front();
+    }
+  }
+}
+
+void Engine::record_repair(const TupleUid& uid) {
+  const auto it = repair_pending_.find(uid);
+  if (it == repair_pending_.end()) return;
+  metrics_.repair_ms.record((platform_.now() - it->second).millis());
+  repair_pending_.erase(it);
+  // repair_order_ may keep a stale uid; the eviction loop tolerates that
+  // (erase of an absent key is a no-op).
 }
 
 }  // namespace tota

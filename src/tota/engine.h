@@ -54,6 +54,7 @@
 #include <unordered_set>
 
 #include "common/ids.h"
+#include "obs/hub.h"
 #include "tota/events.h"
 #include "tota/maintenance.h"
 #include "tota/platform.h"
@@ -62,10 +63,51 @@
 
 namespace tota {
 
+/// The engine's observability handles, resolved once at construction so
+/// the pipeline never does a by-name metric lookup (naming scheme:
+/// docs/OBSERVABILITY.md).  Counters aggregate across every engine
+/// sharing the hub — i.e. across all nodes of a simulated world.
+struct EngineMetrics {
+  explicit EngineMetrics(obs::MetricsRegistry& registry);
+
+  /// Local injections (pipeline entry with hop 0).
+  obs::Counter& inject;
+  /// Replicas installed into a local tuple space.
+  obs::Counter& store;
+  /// Re-broadcasts (floods, heals, re-propagations alike).
+  obs::Counter& propagate;
+  /// Copies decide_enter() rejected.
+  obs::Counter& drop_enter;
+  /// Copies dropped as duplicates / superseded losers.
+  obs::Counter& drop_duplicate;
+  /// Copies refused while their uid's hold-down was armed.
+  obs::Counter& drop_holddown;
+  /// Pass-through copies the uid filter had already seen.
+  obs::Counter& drop_passthrough;
+  /// Stored replicas retired because an update stopped matching locally.
+  obs::Counter& retire;
+  /// Frames that failed to decode (see Engine::decode_failures()).
+  obs::Counter& decode_fail;
+
+  // MaintenanceStats, promoted into the registry (same meanings).
+  obs::Counter& maint_link_up_reprop;
+  obs::Counter& maint_retract_started;
+  obs::Counter& maint_retract_cascaded;
+  obs::Counter& maint_heal_reprop;
+  obs::Counter& maint_probe_tx;
+  obs::Counter& maint_probe_answer;
+
+  /// Milliseconds from a replica's retraction to the same tuple being
+  /// reinstalled on that node — the per-replica repair latency.
+  obs::Histogram& repair_ms;
+};
+
 class Engine final : public SpaceOps {
  public:
+  /// `hub` receives this engine's metrics and trace spans; nullptr
+  /// selects obs::default_hub().  The hub must outlive the engine.
   Engine(NodeId self, Platform& platform, TupleSpace& space, EventBus& bus,
-         MaintenanceOptions maintenance = {});
+         MaintenanceOptions maintenance = {}, obs::Hub* hub = nullptr);
 
   /// SpaceOps: removal that fires kTupleRemoved, available to effectful
   /// tuples through Context::ops.
@@ -136,12 +178,24 @@ class Engine final : public SpaceOps {
   /// another node's retraction/stretch are "cascaded".
   void recheck(const TupleUid& uid, bool cascaded = true);
 
+  /// Convenience: one trace span (obs/tracer.h) on this engine's node.
+  void trace(obs::Stage stage, const TupleUid& uid, int hop);
+
+  /// Starts the repair clock for `uid` (called at retraction); bounded
+  /// FIFO like the pass-through filter.
+  void note_repair_pending(const TupleUid& uid);
+  /// Stops the repair clock and records maint.repair_ms (called when a
+  /// previously-retracted tuple is reinstalled).
+  void record_repair(const TupleUid& uid);
+
   NodeId self_;
   Platform& platform_;
   TupleSpace& space_;
   EventBus& bus_;
   MaintenanceOptions maintenance_;
   MaintenanceStats maintenance_stats_;
+  obs::Hub& hub_;
+  EngineMetrics metrics_;
 
   std::vector<NodeId> neighbors_;
   /// Overheard replica values per distributed tuple: uid → neighbour →
@@ -164,6 +218,12 @@ class Engine final : public SpaceOps {
   /// Recently-retracted tuples: reinstalls at >= removed_hop wait out the
   /// hold-down (see class comment).
   std::unordered_map<TupleUid, HoldDown> hold_down_;
+  /// Retraction instants of tuples whose repair we are still waiting to
+  /// observe (uid → time of first retraction); feeds maint.repair_ms.
+  /// Bounded FIFO (same scheme as the pass-through filter) because a
+  /// tuple whose region drains for good never reinstalls.
+  std::unordered_map<TupleUid, SimTime> repair_pending_;
+  std::deque<TupleUid> repair_order_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t decode_failures_ = 0;
   /// Coalesces same-instant link-up re-propagation into one round.

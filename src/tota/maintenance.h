@@ -2,17 +2,23 @@
 //
 // The TOTA engine keeps distributed tuple structures coherent as the
 // network changes (Sec. 3: "the middleware automatically re-propagates
-// tuples as soon as appropriate conditions occur").  Two mechanisms:
+// tuples as soon as appropriate conditions occur").  Two mechanisms,
+// described in full in engine.h's header essay:
 //
 //  * link-up re-propagation — every stored replica whose rule propagated
 //    is re-broadcast when a new neighbour appears, so newcomers receive
 //    the structures already in place;
-//  * link-down retraction — each replica remembers the neighbour it was
-//    derived from (its parent).  When that link breaks, the replica is
-//    removed and a RETRACT control message cascades down the dependency
-//    tree; nodes holding independently-supported replicas answer a
-//    RETRACT by re-propagating, which rebuilds correct values in the
-//    orphaned region.
+//  * link-down retraction by *value justification* — there are no parent
+//    pointers: a stored replica (other than at its source) is justified
+//    while some current neighbour holds the same tuple at a strictly
+//    smaller hop value.  A replica that loses justification (link break,
+//    or a neighbour's RETRACT/stretch) is removed and announces its
+//    removal with a RETRACT control message, cascading the check
+//    outward; still-justified neighbours answer a RETRACT by
+//    re-announcing their replica, which rebuilds correct values in the
+//    orphaned region.  The hold_down window below plus a PROBE on its
+//    expiry keep transient heals from re-seeding a region that must
+//    drain (the distance-vector count-to-infinity hazard).
 //
 // Both can be disabled independently for the ablation benchmarks.
 #pragma once
@@ -43,7 +49,10 @@ struct MaintenanceOptions {
 };
 
 /// Counters the engine increments; experiments read these to cost the
-/// maintenance machinery.
+/// maintenance machinery.  The engine mirrors each field into its
+/// metrics registry under the "maint." prefix (see EngineMetrics in
+/// engine.h and docs/OBSERVABILITY.md), where they aggregate across all
+/// nodes sharing a hub; this struct stays per-engine.
 struct MaintenanceStats {
   std::uint64_t link_up_repropagations = 0;
   std::uint64_t retractions_started = 0;   // replicas dropped by link loss

@@ -3,8 +3,9 @@
 namespace tota {
 
 Middleware::Middleware(NodeId self, Platform& platform,
-                       MaintenanceOptions maintenance)
-    : platform_(platform), engine_(self, platform, space_, bus_, maintenance) {}
+                       MaintenanceOptions maintenance, obs::Hub* hub)
+    : platform_(platform),
+      engine_(self, platform, space_, bus_, maintenance, hub) {}
 
 TupleUid Middleware::inject(std::unique_ptr<Tuple> tuple) {
   return engine_.inject(std::move(tuple));

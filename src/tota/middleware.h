@@ -30,8 +30,10 @@ namespace tota {
 
 class Middleware {
  public:
+  /// `hub` collects this node's metrics and trace spans (shared with the
+  /// other nodes of the same world); nullptr = obs::default_hub().
   Middleware(NodeId self, Platform& platform,
-             MaintenanceOptions maintenance = {});
+             MaintenanceOptions maintenance = {}, obs::Hub* hub = nullptr);
 
   Middleware(const Middleware&) = delete;
   Middleware& operator=(const Middleware&) = delete;

@@ -104,10 +104,11 @@ class Tuple {
   virtual void apply_effects(const Context& ctx);
 
   /// Whether stored replicas participate in self-maintenance, i.e. are
-  /// retracted when the upstream link they were derived from disappears.
-  /// True for structural tuples (distance fields must track the
-  /// topology); false for delivered data (a message kept at its receiver
-  /// outlives the path it travelled).  Default: true.
+  /// retracted when they lose justification — no current neighbour holds
+  /// the tuple at a smaller hop value (see engine.h).  True for
+  /// structural tuples (distance fields must track the topology); false
+  /// for delivered data (a message kept at its receiver outlives the
+  /// path it travelled).  Default: true.
   [[nodiscard]] virtual bool maintained() const;
 
   // --- wire -------------------------------------------------------------------
