@@ -2,6 +2,7 @@
 // matching, tuple-space operations, and single-node engine processing.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "obs/export.h"
@@ -9,6 +10,7 @@
 #include "tota/tuple_space.h"
 #include "tuples/all.h"
 #include "wire/buffer.h"
+#include "wire/frame.h"
 
 namespace tota {
 namespace {
@@ -24,10 +26,12 @@ class NullPlatform final : public Platform {
   }
   [[nodiscard]] Vec2 position() const override { return {}; }
   [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] wire::FrameCodec* frame_codec() override { return codec; }
 
   std::size_t bytes_out = 0;
   SimTime time;
   std::vector<std::function<void()>> pending;
+  wire::FrameCodec* codec = nullptr;
 
  private:
   Rng rng_{1};
@@ -103,25 +107,136 @@ void BM_EngineReceive(benchmark::State& state) {
   EventBus bus;
   Engine engine(NodeId{1}, platform, space, bus);
 
-  wire::Writer w;
-  w.u8(1);
-  sample_tuple().encode(w);
-  const auto frame = w.take();
   std::uint64_t seq = 100;
   for (auto _ : state) {
     // Unique uid per iteration so each frame runs the full store path.
     state.PauseTiming();
     auto t = sample_tuple();
     t.set_uid(TupleUid{NodeId{7}, seq++});
-    wire::Writer fw;
-    fw.u8(1);
-    t.encode(fw);
-    const auto f = fw.take();
+    const auto f =
+        wire::Frame::tuple([&t](wire::Writer& w) { t.encode(w); });
     state.ResumeTiming();
     engine.on_datagram(NodeId{3}, f);
   }
 }
 BENCHMARK(BM_EngineReceive);
+
+/// One simulated broadcast fanned out to a dense one-hop neighbourhood
+/// through the decode-once cache, vs each receiver parsing for itself.
+void BM_DecodeOnceFanout(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  const auto receivers = static_cast<std::size_t>(state.range(0));
+  const bool shared_codec = state.range(1) != 0;
+
+  obs::Hub hub;
+  wire::FrameCodec codec(hub.metrics);
+  std::vector<std::unique_ptr<NullPlatform>> platforms;
+  std::vector<std::unique_ptr<TupleSpace>> spaces;
+  std::vector<std::unique_ptr<EventBus>> buses;
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    platforms.push_back(std::make_unique<NullPlatform>());
+    if (shared_codec) platforms.back()->codec = &codec;
+    spaces.push_back(std::make_unique<TupleSpace>());
+    buses.push_back(std::make_unique<EventBus>());
+    engines.push_back(std::make_unique<Engine>(
+        NodeId{i + 1}, *platforms.back(), *spaces.back(), *buses.back(),
+        MaintenanceOptions{}, &hub));
+  }
+
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto t = sample_tuple();
+    t.set_uid(TupleUid{NodeId{999}, seq++});
+    const auto frame = std::make_shared<const wire::Bytes>(
+        wire::Frame::tuple([&t](wire::Writer& w) { t.encode(w); }));
+    state.ResumeTiming();
+    for (auto& engine : engines) engine->on_datagram(NodeId{999}, frame);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(receivers));
+}
+BENCHMARK(BM_DecodeOnceFanout)
+    ->ArgsProduct({{4, 16}, {0, 1}})
+    ->ArgNames({"receivers", "shared"});
+
+/// The "codec columns" of BENCH_micro.json (docs/OBSERVABILITY.md):
+/// steady-state tuple encode/decode cost and the decode-once hit rate of
+/// a dense neighbourhood, as gauges on the default hub so the JSON
+/// export picks them up next to the wire.frame.* counters.
+void record_codec_columns(obs::Hub& hub) {
+  using Clock = std::chrono::steady_clock;
+  tuples::register_standard_tuples();
+  const auto tuple = sample_tuple();
+  constexpr int kReps = 50000;
+
+  auto start = Clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    wire::Writer w;
+    tuple.encode(w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  const double encode_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count()) /
+      kReps;
+
+  wire::Writer w;
+  tuple.encode(w);
+  const auto bytes = w.take();
+  start = Clock::now();
+  for (int i = 0; i < kReps; ++i) {
+    wire::Reader r(bytes);
+    auto t = Tuple::decode(r);
+    benchmark::DoNotOptimize(t.get());
+  }
+  const double decode_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count()) /
+      kReps;
+
+  // Dense neighbourhood: 16 receivers per broadcast on one shared codec.
+  // Counters land on the default hub, so BENCH_micro.json carries both
+  // the raw wire.frame.decode_hit/miss and the derived rate.
+  constexpr std::size_t kReceivers = 16;
+  constexpr std::uint64_t kFrames = 256;
+  wire::FrameCodec codec(hub.metrics);
+  std::vector<std::unique_ptr<NullPlatform>> platforms;
+  std::vector<std::unique_ptr<TupleSpace>> spaces;
+  std::vector<std::unique_ptr<EventBus>> buses;
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    platforms.push_back(std::make_unique<NullPlatform>());
+    platforms.back()->codec = &codec;
+    spaces.push_back(std::make_unique<TupleSpace>());
+    buses.push_back(std::make_unique<EventBus>());
+    engines.push_back(std::make_unique<Engine>(
+        NodeId{i + 1}, *platforms.back(), *spaces.back(), *buses.back(),
+        MaintenanceOptions{}, &hub));
+  }
+  for (std::uint64_t seq = 1; seq <= kFrames; ++seq) {
+    auto t = sample_tuple();
+    t.set_uid(TupleUid{NodeId{999}, seq});
+    const auto frame = std::make_shared<const wire::Bytes>(
+        wire::Frame::tuple([&t](wire::Writer& w2) { t.encode(w2); }));
+    for (auto& engine : engines) engine->on_datagram(NodeId{999}, frame);
+  }
+  const auto hits = hub.metrics.get("wire.frame.decode_hit");
+  const auto misses = hub.metrics.get("wire.frame.decode_miss");
+  const double rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  hub.metrics.gauge("bench.codec.tuple_encode_ns").set(encode_ns);
+  hub.metrics.gauge("bench.codec.tuple_decode_ns").set(decode_ns);
+  hub.metrics.gauge("bench.codec.frame_cache_hit_rate").set(rate);
+}
 
 }  // namespace
 }  // namespace tota
@@ -134,6 +249,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  tota::record_codec_columns(tota::obs::default_hub());
   const std::string path =
       tota::obs::write_bench_json("micro", tota::obs::default_hub());
   std::printf("[obs] wrote %s\n", path.c_str());

@@ -21,7 +21,8 @@ Network::Network(NetworkParams params, obs::Hub* hub)
       radio_rx_(hub_.metrics.counter("radio.rx")),
       radio_lost_(hub_.metrics.counter("radio.lost")),
       link_up_(hub_.metrics.counter("link.up")),
-      link_down_(hub_.metrics.counter("link.down")) {}
+      link_down_(hub_.metrics.counter("link.down")),
+      frame_codec_(hub_.metrics) {}
 
 NodeId Network::add_node(Vec2 position,
                          std::unique_ptr<MobilityModel> mobility) {
@@ -107,7 +108,7 @@ void Network::broadcast(NodeId from, wire::Bytes payload) {
       const auto it = nodes_.find(to);
       if (it == nodes_.end() || it->second.host == nullptr) return;
       radio_rx_.inc();
-      it->second.host->on_datagram(from, *shared);
+      it->second.host->on_datagram(from, shared);
     });
   }
 }

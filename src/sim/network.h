@@ -22,6 +22,7 @@
 #include "sim/radio.h"
 #include "sim/topology.h"
 #include "wire/buffer.h"
+#include "wire/frame.h"
 
 namespace tota::sim {
 
@@ -119,6 +120,10 @@ class Network {
   }
   /// The full observability hub (metrics + tracer).
   [[nodiscard]] obs::Hub& hub() { return hub_; }
+  /// The shared decode-once cache for this medium: broadcast() hands every
+  /// receiver the same wire::Bytes object, and stacks attached to this
+  /// network key decoded-frame prototypes on that buffer identity.
+  [[nodiscard]] wire::FrameCodec& frame_codec() { return frame_codec_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const NetworkParams& params() const { return params_; }
   [[nodiscard]] std::vector<NodeId> nodes() const { return topology_.nodes(); }
@@ -156,6 +161,7 @@ class Network {
   obs::Counter& radio_lost_;
   obs::Counter& link_up_;
   obs::Counter& link_down_;
+  wire::FrameCodec frame_codec_;
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t next_node_ = 1;
   bool mobility_scheduled_ = false;

@@ -1,28 +1,11 @@
+// The propagation pipeline (steps 1–7 in engine.h) and the send path.
+// Receive/decode lives in engine_rx.cc; topology-change repair in
+// engine_maintenance.cc.
 #include "tota/engine.h"
-
-#include <algorithm>
 
 #include "common/logging.h"
 
 namespace tota {
-
-EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
-    : inject(registry.counter("engine.inject")),
-      store(registry.counter("engine.store")),
-      propagate(registry.counter("engine.propagate")),
-      drop_enter(registry.counter("engine.drop.enter")),
-      drop_duplicate(registry.counter("engine.drop.duplicate")),
-      drop_holddown(registry.counter("engine.drop.holddown")),
-      drop_passthrough(registry.counter("engine.drop.passthrough")),
-      retire(registry.counter("engine.retire")),
-      decode_fail(registry.counter("engine.decode_fail")),
-      maint_link_up_reprop(registry.counter("maint.link_up_reprop")),
-      maint_retract_started(registry.counter("maint.retract_started")),
-      maint_retract_cascaded(registry.counter("maint.retract_cascaded")),
-      maint_heal_reprop(registry.counter("maint.heal_reprop")),
-      maint_probe_tx(registry.counter("maint.probe_tx")),
-      maint_probe_answer(registry.counter("maint.probe_answer")),
-      repair_ms(registry.histogram("maint.repair_ms")) {}
 
 Engine::Engine(NodeId self, Platform& platform, TupleSpace& space,
                EventBus& bus, MaintenanceOptions maintenance, obs::Hub* hub)
@@ -32,7 +15,9 @@ Engine::Engine(NodeId self, Platform& platform, TupleSpace& space,
       bus_(bus),
       maintenance_(maintenance),
       hub_(hub != nullptr ? *hub : obs::default_hub()),
-      metrics_(hub_.metrics) {}
+      metrics_(hub_.metrics),
+      seen_passthrough_(maintenance.passthrough_memory),
+      repair_pending_(maintenance.passthrough_memory) {}
 
 void Engine::trace(obs::Stage stage, const TupleUid& uid, int hop) {
   hub_.tracer.record(platform_.now(), self_, stage, uid, hop);
@@ -72,22 +57,24 @@ TupleUid Engine::inject(std::unique_ptr<Tuple> tuple) {
 
 void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
   const Context ctx = make_context(from, tuple->hop());
-  if (!tuple->decide_enter(ctx)) {
+  if (!tuple->decide_enter(ctx)) {  // step 1
     metrics_.drop_enter.inc();
     return;
   }
-  tuple->change_content(ctx);
+  tuple->change_content(ctx);  // step 2
 
   const TupleUid uid = tuple->uid();
   const TupleSpace::Entry* existing = space_.find(uid);
   const bool local = from == self_;
 
+  // Step 3: duplicate resolution.
   if (existing != nullptr && !tuple->supersedes(*existing->tuple)) {
     metrics_.drop_duplicate.inc();
     return;  // duplicate or worse copy; the stored structure stands
   }
 
-  if (!local && tuple->maintained() && held_down(uid, tuple->hop())) {
+  if (!local && tuple->maintained() &&
+      hold_down_.blocks(uid, tuple->hop(), platform_.now())) {
     // Recently retracted at a value this copy does not beat: wait out the
     // hold-down instead of re-seeding a possibly-orphaned region.  The
     // PROBE at expiry pulls the value back in if a real holder survives.
@@ -102,19 +89,19 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
   const bool may_host = tuple->permits(AccessOp::kHost, self_);
   const bool may_observe = tuple->permits(AccessOp::kObserve, self_);
 
-  const bool store = tuple->decide_store(ctx) && may_host;
+  const bool store = tuple->decide_store(ctx) && may_host;  // step 4
   const bool propagate = tuple->decide_propagate(ctx);
 
   if (!store && existing == nullptr) {
     // Pass-through tuples keep no replica to deduplicate against, so the
     // engine remembers their uids: each flows through a node once.
-    if (!remember_passthrough(uid)) {
+    if (!seen_passthrough_.insert(uid)) {
       metrics_.drop_passthrough.inc();
       return;
     }
   }
 
-  tuple->apply_effects(ctx);
+  tuple->apply_effects(ctx);  // step 5
 
   if (store) {
     // Replicas of non-maintained tuples record no upstream dependency, so
@@ -123,7 +110,7 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
     const NodeId parent =
         (local || !tuple->maintained()) ? NodeId{} : from;
     space_.put(tuple->clone(), parent, propagate, platform_.now());
-    hold_down_.erase(uid);  // a strictly better value ends the hold early
+    hold_down_.disarm(uid);  // a strictly better value ends the hold early
     metrics_.store.inc();
     trace(obs::Stage::kStore, uid, tuple->hop());
     record_repair(uid);
@@ -136,272 +123,21 @@ void Engine::process(std::unique_ptr<Tuple> tuple, NodeId from) {
         Event{EventKind::kTupleRemoved, removed.get(), platform_.now()});
   }
 
-  if (may_observe) {
+  if (may_observe) {  // step 6
     bus_.publish(
         Event{EventKind::kTupleArrived, tuple.get(), platform_.now()});
   }
 
-  if (propagate) send_tuple(*tuple);
-}
-
-bool Engine::remember_passthrough(const TupleUid& uid) {
-  if (!seen_passthrough_.insert(uid).second) return false;
-  passthrough_order_.push_back(uid);
-  if (seen_passthrough_.size() > maintenance_.passthrough_memory) {
-    const std::size_t evict = seen_passthrough_.size() / 2;
-    for (std::size_t i = 0; i < evict; ++i) {
-      seen_passthrough_.erase(passthrough_order_.front());
-      passthrough_order_.pop_front();
-    }
-  }
-  return true;
+  if (propagate) send_tuple(*tuple);  // step 7
 }
 
 void Engine::send_tuple(const Tuple& tuple) {
-  wire::Writer w;
-  w.u8(static_cast<std::uint8_t>(FrameKind::kTuple));
-  tuple.encode(w);
+  wire::Bytes frame = wire::Frame::tuple(
+      [&tuple](wire::Writer& w) { tuple.encode(w); }, frame_size_hint_);
+  if (frame.size() > frame_size_hint_) frame_size_hint_ = frame.size();
   metrics_.propagate.inc();
   trace(obs::Stage::kPropagate, tuple.uid(), tuple.hop());
-  platform_.broadcast(w.take());
-}
-
-void Engine::on_datagram(NodeId from, std::span<const std::uint8_t> payload) {
-  try {
-    wire::Reader r(payload);
-    const auto kind = static_cast<FrameKind>(r.u8());
-    switch (kind) {
-      case FrameKind::kTuple: {
-        auto tuple = Tuple::decode(r);
-        r.expect_done();
-        // Overhearing the frame tells us what the sender now holds —
-        // maintenance bookkeeping happens even for copies the
-        // propagation rule goes on to reject.
-        if (tuple->maintained()) {
-          note_neighbor_value(tuple->uid(), from, tuple->hop());
-        }
-        tuple->set_hop(tuple->hop() + 1);
-        process(std::move(tuple), from);
-        return;
-      }
-      case FrameKind::kRetract: {
-        const NodeId origin{r.uvarint()};
-        const std::uint64_t seq = r.uvarint();
-        r.svarint();  // hop at removal; carried for tracing only
-        r.expect_done();
-        handle_retract(from, TupleUid{origin, seq});
-        return;
-      }
-      case FrameKind::kProbe: {
-        const NodeId origin{r.uvarint()};
-        const std::uint64_t seq = r.uvarint();
-        r.expect_done();
-        handle_probe(TupleUid{origin, seq});
-        return;
-      }
-    }
-    throw wire::DecodeError("unknown frame kind");
-  } catch (const wire::DecodeError&) {
-    ++decode_failures_;
-    metrics_.decode_fail.inc();
-  } catch (const wire::UnknownTypeError&) {
-    ++decode_failures_;
-    metrics_.decode_fail.inc();
-  }
-}
-
-void Engine::on_neighbor_up(NodeId neighbor) {
-  const auto it =
-      std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
-  if (it != neighbors_.end() && *it == neighbor) return;
-  neighbors_.insert(it, neighbor);
-
-  if (!maintenance_.repropagate_on_link_up) return;
-  // Debounced: several links appearing at the same instant (a node joining
-  // a dense area) trigger one re-propagation round, not one per link.
-  if (repropagation_pending_) return;
-  repropagation_pending_ = true;
-  platform_.schedule(SimTime::zero(), [this] {
-    repropagation_pending_ = false;
-    for (const TupleUid& uid : space_.propagated_uids()) {
-      const auto* entry = space_.find(uid);
-      if (entry == nullptr) continue;
-      if (uid.origin() == self_ && entry->tuple->hop() == 0) {
-        // Source replica: the node may have moved since injection, so
-        // position-dependent content (advert locations, spatial origins)
-        // is re-evaluated at hop 0 before re-announcing.
-        auto fresh = entry->tuple->clone();
-        fresh->change_content(make_context(self_, 0));
-        if (!(fresh->content() == entry->tuple->content())) {
-          send_tuple(*fresh);
-          space_.put(std::move(fresh), NodeId{}, true, platform_.now());
-        } else {
-          send_tuple(*entry->tuple);
-        }
-      } else {
-        send_tuple(*entry->tuple);
-      }
-      ++maintenance_stats_.link_up_repropagations;
-      metrics_.maint_link_up_reprop.inc();
-    }
-  });
-}
-
-void Engine::on_neighbor_down(NodeId neighbor) {
-  const auto it =
-      std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
-  if (it != neighbors_.end() && *it == neighbor) neighbors_.erase(it);
-
-  if (!maintenance_.retract_on_link_down) return;
-  // Everything we knew the departed neighbour held is gone; replicas that
-  // relied on those values for justification must go too.
-  std::vector<TupleUid> to_recheck;
-  for (auto& [uid, values] : neighbor_values_) {
-    if (values.erase(neighbor) > 0) to_recheck.push_back(uid);
-  }
-  for (const TupleUid& uid : to_recheck) recheck(uid, /*cascaded=*/false);
-}
-
-void Engine::note_neighbor_value(const TupleUid& uid, NodeId n, int hop) {
-  neighbor_values_[uid][n] = hop;
-  // A neighbour's value can also *stretch* past ours and void our
-  // justification; re-check eagerly.
-  if (maintenance_.retract_on_link_down) recheck(uid);
-}
-
-void Engine::forget_neighbor_value(const TupleUid& uid, NodeId n) {
-  const auto it = neighbor_values_.find(uid);
-  if (it == neighbor_values_.end()) return;
-  it->second.erase(n);
-  if (it->second.empty() && space_.find(uid) == nullptr) {
-    neighbor_values_.erase(it);
-  }
-}
-
-bool Engine::justified(const TupleSpace::Entry& entry) const {
-  const TupleUid uid = entry.tuple->uid();
-  if (!entry.tuple->maintained()) return true;
-  if (uid.origin() == self_) return true;  // the source carries its own
-  const auto it = neighbor_values_.find(uid);
-  if (it == neighbor_values_.end()) return false;
-  const int mine = entry.tuple->hop();
-  for (const auto& [n, hop] : it->second) {
-    if (hop < mine) return true;  // a shorter support chain next door
-  }
-  return false;
-}
-
-void Engine::recheck(const TupleUid& uid, bool cascaded) {
-  const auto* entry = space_.find(uid);
-  if (entry == nullptr) return;
-  if (justified(*entry)) return;
-  retract_local(uid, cascaded);
-}
-
-void Engine::retract_local(const TupleUid& uid, bool cascaded) {
-  const auto* entry = space_.find(uid);
-  if (entry == nullptr) return;
-  const int removed_hop = entry->tuple->hop();
-
-  auto removed = space_.erase(uid);
-  if (cascaded) {
-    ++maintenance_stats_.retractions_cascaded;
-    metrics_.maint_retract_cascaded.inc();
-  } else {
-    ++maintenance_stats_.retractions_started;
-    metrics_.maint_retract_started.inc();
-  }
-  trace(obs::Stage::kRetract, uid, removed_hop);
-  note_repair_pending(uid);
-  bus_.publish(
-      Event{EventKind::kTupleRemoved, removed.get(), platform_.now()});
-
-  // Arm the hold-down and schedule the expiry probe.  A newer retraction
-  // may re-arm before this one expires; the lambda checks.
-  const SimTime until = platform_.now() + maintenance_.hold_down;
-  hold_down_[uid] = HoldDown{until, removed_hop};
-  platform_.schedule(maintenance_.hold_down, [this, uid] {
-    const auto it = hold_down_.find(uid);
-    if (it == hold_down_.end() || platform_.now() < it->second.until) return;
-    hold_down_.erase(it);
-    wire::Writer w;
-    w.u8(static_cast<std::uint8_t>(FrameKind::kProbe));
-    w.uvarint(uid.origin().value());
-    w.uvarint(uid.sequence());
-    platform_.broadcast(w.take());
-    ++maintenance_stats_.probes_sent;
-    metrics_.maint_probe_tx.inc();
-    trace(obs::Stage::kProbe, uid, /*hop=*/-1);
-  });
-
-  wire::Writer w;
-  w.u8(static_cast<std::uint8_t>(FrameKind::kRetract));
-  w.uvarint(uid.origin().value());
-  w.uvarint(uid.sequence());
-  w.svarint(removed_hop);
-  platform_.broadcast(w.take());
-}
-
-bool Engine::held_down(const TupleUid& uid, int hop) const {
-  const auto it = hold_down_.find(uid);
-  if (it == hold_down_.end()) return false;
-  if (platform_.now() >= it->second.until) return false;  // expired
-  return hop >= it->second.removed_hop;
-}
-
-void Engine::handle_probe(const TupleUid& uid) {
-  const auto* entry = space_.find(uid);
-  if (entry == nullptr || !entry->propagated) return;
-  if (!justified(*entry)) return;  // don't feed a drain in progress
-  send_tuple(*entry->tuple);
-  ++maintenance_stats_.probe_answers;
-  metrics_.maint_probe_answer.inc();
-  trace(obs::Stage::kHeal, uid, entry->tuple->hop());
-}
-
-void Engine::handle_retract(NodeId from, const TupleUid& uid) {
-  forget_neighbor_value(uid, from);
-  if (!maintenance_.retract_on_link_down) return;
-
-  const auto* entry = space_.find(uid);
-  if (entry == nullptr) return;
-  if (!justified(*entry)) {
-    // Our support chain ran through the retracting neighbour: cascade.
-    retract_local(uid, /*cascaded=*/true);
-    return;
-  }
-  // Our replica is independently supported: answer by re-announcing it,
-  // which rebuilds correct values in the orphaned region.
-  if (entry->propagated) {
-    send_tuple(*entry->tuple);
-    ++maintenance_stats_.heal_repropagations;
-    metrics_.maint_heal_reprop.inc();
-    trace(obs::Stage::kHeal, uid, entry->tuple->hop());
-  }
-}
-
-void Engine::note_repair_pending(const TupleUid& uid) {
-  // Keep the *first* retraction instant: the structure has been wrong
-  // since then, so a re-retraction during an ongoing repair must not
-  // reset the clock.
-  if (!repair_pending_.emplace(uid, platform_.now()).second) return;
-  repair_order_.push_back(uid);
-  if (repair_pending_.size() > maintenance_.passthrough_memory) {
-    const std::size_t evict = repair_pending_.size() / 2;
-    for (std::size_t i = 0; i < evict; ++i) {
-      repair_pending_.erase(repair_order_.front());
-      repair_order_.pop_front();
-    }
-  }
-}
-
-void Engine::record_repair(const TupleUid& uid) {
-  const auto it = repair_pending_.find(uid);
-  if (it == repair_pending_.end()) return;
-  metrics_.repair_ms.record((platform_.now() - it->second).millis());
-  repair_pending_.erase(it);
-  // repair_order_ may keep a stale uid; the eviction loop tolerates that
-  // (erase of an absent key is a no-op).
+  platform_.broadcast(std::move(frame));
 }
 
 }  // namespace tota

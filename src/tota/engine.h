@@ -3,12 +3,17 @@
 // Responsibilities (paper Fig. 2): keep the neighbour table, send tuples
 // injected locally, apply the propagation rule of received tuples and
 // re-propagate them, and keep the distributed structures coherent when
-// the topology changes.
+// the topology changes.  The engine composes four extracted units:
 //
-// Wire protocol (one envelope per radio frame):
-//   0x01 TUPLE   <tuple encoding>            — a propagating tuple copy
-//   0x02 RETRACT <origin, seq, hop>          — replica removal announcement
-//   0x03 PROBE   <origin, seq>               — request re-announcement
+//   wire::Frame / FrameCodec  (wire/frame.h)        envelope + decode-once
+//   NeighborValueTable        (neighbor_table.h)    justification oracle
+//   HoldDownTable             (hold_down.h)         anti-count-to-infinity
+//   BoundedUidFifo            (bounded_uid_fifo.h)  pass-through filter,
+//                                                   repair tracker
+//
+// and is implemented across three translation units: engine.cc (the
+// propagation pipeline), engine_rx.cc (frame receive/decode), and
+// engine_maintenance.cc (topology-change repair).
 //
 // Propagation pipeline for a copy arriving from `from` with travelled
 // hop-count h (h = 0 for local injection):
@@ -23,84 +28,45 @@
 //
 // Self-maintenance uses *value justification*: because every propagation
 // is a broadcast, a node overhears the replica values its neighbours
-// hold.  A stored replica (other than at its source) is justified while
-// some current neighbour holds the same tuple with a strictly smaller
-// hop value — i.e. while a shorter support chain towards the source
-// exists next door.  When a link breaks or a neighbour retracts/stretches,
-// replicas that lose justification are removed and announce their removal
-// (RETRACT), cascading the check outward; surviving justified neighbours
-// answer a RETRACT by re-announcing their replica, which rebuilds correct
-// values in the orphaned region.  Justification-by-value (rather than a
-// parent pointer) means the minimum-valued replica of a region cut off
-// from its source never has a justifier, so orphan regions drain; the
-// *hold-down* below stops transient heals from re-seeding them while
-// they do.
-//
-// Hold-down: after retracting a replica, a node refuses to reinstall the
-// same tuple at a hop value >= the removed one until `hold_down` elapses
-// (strictly better values — a genuinely shorter path — pass immediately).
-// On expiry the node broadcasts a PROBE; surviving justified holders
-// answer by re-announcing, which rebuilds correct (possibly larger)
-// values exactly once the removal wave has settled.  Together,
-// justification + hold-down + probe give convergence without the
-// count-to-infinity ratchet of naive distance-vector repair.
+// hold (NeighborValueTable).  A stored replica (other than at its
+// source) is justified while some current neighbour holds the same tuple
+// with a strictly smaller hop value — i.e. while a shorter support chain
+// towards the source exists next door.  When a link breaks or a
+// neighbour retracts/stretches, replicas that lose justification are
+// removed and announce their removal (RETRACT), cascading the check
+// outward; surviving justified neighbours answer a RETRACT by
+// re-announcing their replica, which rebuilds correct values in the
+// orphaned region.  Justification-by-value (rather than a parent
+// pointer) means the minimum-valued replica of a region cut off from its
+// source never has a justifier, so orphan regions drain; the hold-down
+// (HoldDownTable) stops transient heals from re-seeding them while they
+// do: after retracting a replica, a node refuses to reinstall the same
+// tuple at a hop value >= the removed one until `hold_down` elapses,
+// then broadcasts a PROBE that surviving justified holders answer.
+// Together, justification + hold-down + probe give convergence without
+// the count-to-infinity ratchet of naive distance-vector repair.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <memory>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <variant>
+#include <vector>
 
 #include "common/ids.h"
 #include "obs/hub.h"
+#include "tota/bounded_uid_fifo.h"
+#include "tota/engine_metrics.h"
 #include "tota/events.h"
+#include "tota/hold_down.h"
 #include "tota/maintenance.h"
+#include "tota/neighbor_table.h"
 #include "tota/platform.h"
 #include "tota/tuple.h"
 #include "tota/tuple_space.h"
+#include "wire/frame.h"
 
 namespace tota {
-
-/// The engine's observability handles, resolved once at construction so
-/// the pipeline never does a by-name metric lookup (naming scheme:
-/// docs/OBSERVABILITY.md).  Counters aggregate across every engine
-/// sharing the hub — i.e. across all nodes of a simulated world.
-struct EngineMetrics {
-  explicit EngineMetrics(obs::MetricsRegistry& registry);
-
-  /// Local injections (pipeline entry with hop 0).
-  obs::Counter& inject;
-  /// Replicas installed into a local tuple space.
-  obs::Counter& store;
-  /// Re-broadcasts (floods, heals, re-propagations alike).
-  obs::Counter& propagate;
-  /// Copies decide_enter() rejected.
-  obs::Counter& drop_enter;
-  /// Copies dropped as duplicates / superseded losers.
-  obs::Counter& drop_duplicate;
-  /// Copies refused while their uid's hold-down was armed.
-  obs::Counter& drop_holddown;
-  /// Pass-through copies the uid filter had already seen.
-  obs::Counter& drop_passthrough;
-  /// Stored replicas retired because an update stopped matching locally.
-  obs::Counter& retire;
-  /// Frames that failed to decode (see Engine::decode_failures()).
-  obs::Counter& decode_fail;
-
-  // MaintenanceStats, promoted into the registry (same meanings).
-  obs::Counter& maint_link_up_reprop;
-  obs::Counter& maint_retract_started;
-  obs::Counter& maint_retract_cascaded;
-  obs::Counter& maint_heal_reprop;
-  obs::Counter& maint_probe_tx;
-  obs::Counter& maint_probe_answer;
-
-  /// Milliseconds from a replica's retraction to the same tuple being
-  /// reinstalled on that node — the per-replica repair latency.
-  obs::Histogram& repair_ms;
-};
 
 class Engine final : public SpaceOps {
  public:
@@ -122,7 +88,17 @@ class Engine final : public SpaceOps {
 
   // --- platform-facing upcalls ------------------------------------------
 
+  /// Span-only receive path: parses the frame (and, for TUPLE frames,
+  /// the tuple body) itself.  This is the fallback for transports that
+  /// cannot share one buffer across receivers.
   void on_datagram(NodeId from, std::span<const std::uint8_t> payload);
+
+  /// Shared-buffer receive path (broadcast medium): when the platform
+  /// exposes a FrameCodec, the tuple body of `payload` is decoded into
+  /// an immutable prototype once per transmission and this engine gets a
+  /// clone — every further receiver of the same buffer is a cache hit.
+  void on_datagram(NodeId from, std::shared_ptr<const wire::Bytes> payload);
+
   void on_neighbor_up(NodeId neighbor);
   void on_neighbor_down(NodeId neighbor);
 
@@ -142,34 +118,46 @@ class Engine final : public SpaceOps {
   }
 
  private:
-  enum class FrameKind : std::uint8_t { kTuple = 1, kRetract = 2, kProbe = 3 };
+  // --- engine.cc: the propagation pipeline -------------------------------
 
   Context make_context(NodeId from, int hop) const;
 
-  /// The shared pipeline for injected and received tuples.
+  /// The shared pipeline (steps 1–7 above) for injected and received
+  /// tuples.
   void process(std::unique_ptr<Tuple> tuple, NodeId from);
 
   /// Broadcasts a TUPLE frame carrying `tuple` as stored on this node.
   void send_tuple(const Tuple& tuple);
 
-  /// Removes the local replica of `uid`, announces the removal, and
-  /// counts it under started/cascaded retractions.
+  /// Convenience: one trace span (obs/tracer.h) on this engine's node.
+  void trace(obs::Stage stage, const TupleUid& uid, int hop);
+
+  // --- engine_rx.cc: frame receive/decode --------------------------------
+
+  /// Routes a decoded envelope: TUPLE bodies via `tuple`, control frames
+  /// to their handlers.
+  void dispatch(NodeId from, const wire::Frame& frame,
+                std::unique_ptr<Tuple> tuple);
+
+  /// Maintenance bookkeeping + hop increment + pipeline for one received
+  /// tuple copy.
+  void receive_tuple(NodeId from, std::unique_ptr<Tuple> tuple);
+
+  /// Counts a frame this engine could not parse.
+  void note_decode_failure();
+
+  // --- engine_maintenance.cc: topology-change repair ---------------------
+
+  /// Removes the local replica of `uid`, announces the removal, arms the
+  /// hold-down, and counts it under started/cascaded retractions.
   void retract_local(const TupleUid& uid, bool cascaded);
 
   void handle_retract(NodeId from, const TupleUid& uid);
   void handle_probe(const TupleUid& uid);
 
-  /// True while `hop` is blocked from installing under `uid`'s hold-down.
-  [[nodiscard]] bool held_down(const TupleUid& uid, int hop) const;
-
-  /// Records that neighbour `n` holds `uid` at `hop`; erase via
-  /// forget_neighbor_value.  Returns true if this changed the table.
-  void note_neighbor_value(const TupleUid& uid, NodeId n, int hop);
-  void forget_neighbor_value(const TupleUid& uid, NodeId n);
-
   /// True when the local replica of `uid` is allowed to stay: it is the
   /// source's own, not maintained, or some neighbour holds a smaller
-  /// value.
+  /// value (NeighborValueTable::supports).
   [[nodiscard]] bool justified(const TupleSpace::Entry& entry) const;
 
   /// Re-checks justification of the local replica of `uid`; retracts it
@@ -178,15 +166,12 @@ class Engine final : public SpaceOps {
   /// another node's retraction/stretch are "cascaded".
   void recheck(const TupleUid& uid, bool cascaded = true);
 
-  /// Convenience: one trace span (obs/tracer.h) on this engine's node.
-  void trace(obs::Stage stage, const TupleUid& uid, int hop);
-
-  /// Starts the repair clock for `uid` (called at retraction); bounded
-  /// FIFO like the pass-through filter.
+  /// Starts the repair clock for `uid` (called at retraction); stopped
+  /// by record_repair when the tuple reinstalls, feeding maint.repair_ms.
   void note_repair_pending(const TupleUid& uid);
-  /// Stops the repair clock and records maint.repair_ms (called when a
-  /// previously-retracted tuple is reinstalled).
   void record_repair(const TupleUid& uid);
+
+  // --- state --------------------------------------------------------------
 
   NodeId self_;
   Platform& platform_;
@@ -198,34 +183,24 @@ class Engine final : public SpaceOps {
   EngineMetrics metrics_;
 
   std::vector<NodeId> neighbors_;
-  /// Overheard replica values per distributed tuple: uid → neighbour →
-  /// hop value at that neighbour.  The justification oracle.
-  std::unordered_map<TupleUid, std::map<NodeId, int>> neighbor_values_;
+  /// Overheard replica values per distributed tuple — the justification
+  /// oracle.
+  NeighborValueTable neighbor_values_;
   /// Uids of pass-through (non-stored) tuples already processed here;
   /// terminates floods of tuples that keep no replica to dedup against.
-  /// Bounded (MaintenanceOptions::passthrough_memory) with FIFO
-  /// half-eviction; `passthrough_order_` remembers insertion order.
-  std::unordered_set<TupleUid> seen_passthrough_;
-  std::deque<TupleUid> passthrough_order_;
-
-  /// Inserts into the bounded pass-through filter; returns false when
-  /// the uid was already known.
-  bool remember_passthrough(const TupleUid& uid);
-  struct HoldDown {
-    SimTime until;
-    int removed_hop;
-  };
-  /// Recently-retracted tuples: reinstalls at >= removed_hop wait out the
-  /// hold-down (see class comment).
-  std::unordered_map<TupleUid, HoldDown> hold_down_;
+  BoundedUidFifo<std::monostate> seen_passthrough_;
+  /// Recently-retracted tuples: reinstalls at >= the removed hop wait
+  /// out the hold-down (see header essay).
+  HoldDownTable hold_down_;
   /// Retraction instants of tuples whose repair we are still waiting to
-  /// observe (uid → time of first retraction); feeds maint.repair_ms.
-  /// Bounded FIFO (same scheme as the pass-through filter) because a
-  /// tuple whose region drains for good never reinstalls.
-  std::unordered_map<TupleUid, SimTime> repair_pending_;
-  std::deque<TupleUid> repair_order_;
+  /// observe; bounded because a tuple whose region drains for good never
+  /// reinstalls.
+  BoundedUidFifo<SimTime> repair_pending_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t decode_failures_ = 0;
+  /// Grows to the largest TUPLE frame this engine has sent; pre-sizes
+  /// the next frame's buffer.
+  std::size_t frame_size_hint_ = 128;
   /// Coalesces same-instant link-up re-propagation into one round.
   bool repropagation_pending_ = false;
 };

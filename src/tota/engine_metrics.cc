@@ -1,0 +1,23 @@
+#include "tota/engine_metrics.h"
+
+namespace tota {
+
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
+    : inject(registry.counter("engine.inject")),
+      store(registry.counter("engine.store")),
+      propagate(registry.counter("engine.propagate")),
+      drop_enter(registry.counter("engine.drop.enter")),
+      drop_duplicate(registry.counter("engine.drop.duplicate")),
+      drop_holddown(registry.counter("engine.drop.holddown")),
+      drop_passthrough(registry.counter("engine.drop.passthrough")),
+      retire(registry.counter("engine.retire")),
+      decode_fail(registry.counter("engine.decode_fail")),
+      maint_link_up_reprop(registry.counter("maint.link_up_reprop")),
+      maint_retract_started(registry.counter("maint.retract_started")),
+      maint_retract_cascaded(registry.counter("maint.retract_cascaded")),
+      maint_heal_reprop(registry.counter("maint.heal_reprop")),
+      maint_probe_tx(registry.counter("maint.probe_tx")),
+      maint_probe_answer(registry.counter("maint.probe_answer")),
+      repair_ms(registry.histogram("maint.repair_ms")) {}
+
+}  // namespace tota

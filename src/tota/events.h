@@ -49,6 +49,9 @@ class PresenceTuple final : public Tuple {
   PresenceTuple(NodeId neighbor, bool up);
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<PresenceTuple>(*this);
+  }
   [[nodiscard]] NodeId neighbor() const { return content().at("node").as_node(); }
   [[nodiscard]] bool up() const { return content().at("event").as_string() == "up"; }
 };

@@ -1,0 +1,25 @@
+#include "tota/hold_down.h"
+
+namespace tota {
+
+void HoldDownTable::arm(const TupleUid& uid, SimTime until, int removed_hop) {
+  entries_[uid] = Entry{until, removed_hop};
+}
+
+void HoldDownTable::disarm(const TupleUid& uid) { entries_.erase(uid); }
+
+bool HoldDownTable::blocks(const TupleUid& uid, int hop, SimTime now) const {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end()) return false;
+  if (now >= it->second.until) return false;  // expired, probe pending
+  return hop >= it->second.removed_hop;
+}
+
+bool HoldDownTable::expire(const TupleUid& uid, SimTime now) {
+  const auto it = entries_.find(uid);
+  if (it == entries_.end() || now < it->second.until) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace tota

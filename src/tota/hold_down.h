@@ -1,0 +1,49 @@
+// HoldDownTable — the anti-count-to-infinity window of self-maintenance.
+//
+// After retracting a replica, a node refuses to reinstall the same tuple
+// at a hop value >= the removed one until the hold-down elapses (strictly
+// better values — a genuinely shorter path — pass immediately).  The
+// engine arms an entry at retraction and schedules an expiry check for
+// hold-down duration later; if the entry is still due at that instant
+// (a newer retraction may have re-armed it further out), the engine
+// broadcasts the PROBE that asks surviving justified holders to
+// re-announce.  See engine.h for how the three mechanisms compose.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace tota {
+
+class HoldDownTable {
+ public:
+  /// Arms (or re-arms, pushing the expiry out) the hold-down for `uid`:
+  /// until `until`, reinstalls at hop >= `removed_hop` are refused.
+  void arm(const TupleUid& uid, SimTime until, int removed_hop);
+
+  /// Ends the hold early — a strictly better value was installed.
+  void disarm(const TupleUid& uid);
+
+  /// True while a reinstall of `uid` at `hop` must wait.
+  [[nodiscard]] bool blocks(const TupleUid& uid, int hop, SimTime now) const;
+
+  /// The expiry check: when `uid`'s entry exists and is due at `now`,
+  /// removes it and returns true (the caller then probes the
+  /// neighbourhood); returns false when a re-arm pushed the expiry out
+  /// or the entry is already gone.
+  bool expire(const TupleUid& uid, SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SimTime until;
+    int removed_hop;
+  };
+
+  std::unordered_map<TupleUid, Entry> entries_;
+};
+
+}  // namespace tota

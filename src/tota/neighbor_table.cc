@@ -1,0 +1,34 @@
+#include "tota/neighbor_table.h"
+
+namespace tota {
+
+void NeighborValueTable::note(const TupleUid& uid, NodeId n, int hop) {
+  values_[uid][n] = hop;
+}
+
+void NeighborValueTable::forget(const TupleUid& uid, NodeId n,
+                                bool retain_row) {
+  const auto it = values_.find(uid);
+  if (it == values_.end()) return;
+  it->second.erase(n);
+  if (it->second.empty() && !retain_row) values_.erase(it);
+}
+
+std::vector<TupleUid> NeighborValueTable::forget_neighbor(NodeId n) {
+  std::vector<TupleUid> affected;
+  for (auto& [uid, values] : values_) {
+    if (values.erase(n) > 0) affected.push_back(uid);
+  }
+  return affected;
+}
+
+bool NeighborValueTable::supports(const TupleUid& uid, int hop) const {
+  const auto it = values_.find(uid);
+  if (it == values_.end()) return false;
+  for (const auto& [n, value] : it->second) {
+    if (value < hop) return true;  // a shorter support chain next door
+  }
+  return false;
+}
+
+}  // namespace tota

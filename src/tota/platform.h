@@ -18,6 +18,10 @@
 
 namespace tota {
 
+namespace wire {
+class FrameCodec;
+}  // namespace wire
+
 class Platform {
  public:
   virtual ~Platform() = default;
@@ -25,6 +29,13 @@ class Platform {
   /// Sends `payload` to every current one-hop neighbour (broadcast
   /// medium; one transmission, many receivers).
   virtual void broadcast(wire::Bytes payload) = 0;
+
+  /// The decode-once frame cache shared by every receiver on this
+  /// medium (see wire/frame.h), or nullptr when the transport cannot
+  /// share buffers across receivers — the engine then falls back to
+  /// parsing every frame itself.  The codec, when present, must outlive
+  /// the platform's engines.
+  [[nodiscard]] virtual wire::FrameCodec* frame_codec() { return nullptr; }
 
   /// Current local time.
   [[nodiscard]] virtual SimTime now() const = 0;

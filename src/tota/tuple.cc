@@ -42,7 +42,8 @@ std::unique_ptr<Tuple> Tuple::decode(wire::Reader& r) {
 }
 
 std::unique_ptr<Tuple> Tuple::clone() const {
-  // Round-tripping through the wire format guarantees the copy is exactly
+  // Fallback for subclasses without a copy-construction override:
+  // round-tripping through the wire format guarantees the copy is exactly
   // what a remote node would see and keeps subclasses free of clone code.
   wire::Writer w;
   encode(w);

@@ -120,8 +120,14 @@ class Tuple {
   /// wire::DecodeError / wire::UnknownTypeError on malformed input.
   static std::unique_ptr<Tuple> decode(wire::Reader& r);
 
-  /// Deep copy preserving the dynamic type.
-  [[nodiscard]] std::unique_ptr<Tuple> clone() const;
+  /// Deep copy preserving the dynamic type.  Concrete subclasses
+  /// override with a copy-construction one-liner — the decode-once
+  /// receive path clones a cached prototype for every receiver of a
+  /// broadcast frame, so this is hot.  The base fallback round-trips
+  /// through the wire format: always correct (every propagation-relevant
+  /// field is serialized, as decode must rebuild the full state) but it
+  /// pays a full encode+decode.
+  [[nodiscard]] virtual std::unique_ptr<Tuple> clone() const;
 
   /// "<tag>[uid hop] (content)" for logs.
   [[nodiscard]] std::string str() const;

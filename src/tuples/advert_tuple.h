@@ -35,6 +35,9 @@ class AdvertTuple final : public FieldTuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<AdvertTuple>(*this);
+  }
 
  protected:
   void update_fields(const Context& ctx) override {

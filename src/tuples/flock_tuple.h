@@ -30,6 +30,9 @@ class FlockTuple final : public FieldTuple {
   [[nodiscard]] int target_distance() const { return target_distance_; }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<FlockTuple>(*this);
+  }
 
  protected:
   void update_fields(const Context& ctx) override {

@@ -23,6 +23,9 @@ class GradientTuple final : public FieldTuple {
       : FieldTuple(std::move(name), scope) {}
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<GradientTuple>(*this);
+  }
 };
 
 /// FloodTuple — plain network-wide flooding of an application payload;
@@ -41,6 +44,9 @@ class FloodTuple final : public FieldTuple {
 
   [[nodiscard]] wire::Value payload() const { return content().at("payload"); }
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<FloodTuple>(*this);
+  }
 };
 
 }  // namespace tota::tuples

@@ -52,6 +52,9 @@ class MessageTuple : public Tuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<MessageTuple>(*this);
+  }
 
   bool decide_enter(const Context& ctx) override;
   void change_content(const Context& ctx) override;
@@ -104,6 +107,9 @@ class AnswerTuple final : public MessageTuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<AnswerTuple>(*this);
+  }
 
  protected:
   std::optional<int> structure_value(const Context& ctx) const override;

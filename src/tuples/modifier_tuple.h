@@ -38,6 +38,9 @@ class ModifierTuple final : public Tuple {
         scope_(scope) {}
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<ModifierTuple>(*this);
+  }
 
   bool decide_enter(const Context& ctx) override {
     return scope_ == kUnbounded || ctx.hop <= scope_;

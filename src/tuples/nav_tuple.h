@@ -46,6 +46,9 @@ class NavTuple : public Tuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<NavTuple>(*this);
+  }
 
   bool decide_enter(const Context& ctx) override;
   void change_content(const Context& ctx) override;
@@ -83,6 +86,9 @@ class DataTuple final : public Tuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<DataTuple>(*this);
+  }
   bool decide_propagate(const Context&) override { return false; }
   [[nodiscard]] bool maintained() const override { return false; }
 };

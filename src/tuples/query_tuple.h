@@ -32,6 +32,9 @@ class QueryTuple final : public FieldTuple {
   [[nodiscard]] NodeId home() const { return source(); }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<QueryTuple>(*this);
+  }
 };
 
 }  // namespace tota::tuples

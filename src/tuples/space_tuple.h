@@ -35,6 +35,9 @@ class SpaceTuple final : public FieldTuple {
   [[nodiscard]] double radius_m() const { return radius_m_; }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<SpaceTuple>(*this);
+  }
 
   bool decide_enter(const Context& ctx) override {
     if (ctx.hop == 0) return true;
@@ -92,6 +95,9 @@ class DirectionTuple final : public FieldTuple {
   }
 
   [[nodiscard]] std::string type_tag() const override { return kTag; }
+  [[nodiscard]] std::unique_ptr<Tuple> clone() const override {
+    return std::make_unique<DirectionTuple>(*this);
+  }
 
   bool decide_enter(const Context& ctx) override {
     if (!FieldTuple::decide_enter(ctx)) return false;

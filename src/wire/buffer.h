@@ -33,6 +33,11 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-sizes the output for at least `n` more bytes, so a frame built
+  /// field-by-field does not reallocate per field (the send hot path
+  /// passes the previous frame size of the same tuple as the hint).
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

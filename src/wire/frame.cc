@@ -1,0 +1,103 @@
+#include "wire/frame.h"
+
+namespace tota::wire {
+
+namespace {
+
+// Worst-case envelope sizes, for Writer::reserve: kind byte plus two
+// 64-bit varints (10 bytes each) plus a small svarint.
+constexpr std::size_t kControlFrameReserve = 1 + 10 + 10 + 5;
+
+void write_uid(Writer& w, const TupleUid& uid) {
+  w.uvarint(uid.origin().value());
+  w.uvarint(uid.sequence());
+}
+
+TupleUid read_uid(Reader& r) {
+  const NodeId origin{r.uvarint()};
+  const std::uint64_t seq = r.uvarint();
+  return TupleUid{origin, seq};
+}
+
+}  // namespace
+
+Frame Frame::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(r.u8());
+  switch (frame.kind) {
+    case FrameKind::kTuple:
+      frame.tuple_body = payload.subspan(1);
+      return frame;
+    case FrameKind::kRetract:
+      frame.uid = read_uid(r);
+      frame.removed_hop = static_cast<int>(r.svarint());
+      r.expect_done();
+      return frame;
+    case FrameKind::kProbe:
+      frame.uid = read_uid(r);
+      r.expect_done();
+      return frame;
+  }
+  throw DecodeError("unknown frame kind");
+}
+
+Bytes Frame::tuple(const std::function<void(Writer&)>& encode_body,
+                   std::size_t size_hint) {
+  Writer w;
+  w.reserve(1 + size_hint);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kTuple));
+  encode_body(w);
+  return w.take();
+}
+
+Bytes Frame::retract(const TupleUid& uid, int removed_hop) {
+  Writer w;
+  w.reserve(kControlFrameReserve);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kRetract));
+  write_uid(w, uid);
+  w.svarint(removed_hop);
+  return w.take();
+}
+
+Bytes Frame::probe(const TupleUid& uid) {
+  Writer w;
+  w.reserve(kControlFrameReserve);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kProbe));
+  write_uid(w, uid);
+  return w.take();
+}
+
+FrameCodec::FrameCodec(obs::MetricsRegistry& metrics, std::size_t capacity)
+    : capacity_(capacity),
+      hit_(metrics.counter("wire.frame.decode_hit")),
+      miss_(metrics.counter("wire.frame.decode_miss")) {}
+
+FrameCodec::Prototype FrameCodec::lookup(
+    const std::shared_ptr<const Bytes>& buffer) {
+  const auto it = cache_.find(buffer.get());
+  if (it == cache_.end()) {
+    miss_.inc();
+    return nullptr;
+  }
+  hit_.inc();
+  return it->second.prototype;
+}
+
+void FrameCodec::remember(std::shared_ptr<const Bytes> buffer,
+                          Prototype prototype) {
+  const Bytes* key = buffer.get();
+  if (key == nullptr || prototype == nullptr) return;
+  auto& slot = cache_[key];
+  const bool fresh = slot.buffer == nullptr;
+  slot = Entry{std::move(buffer), std::move(prototype)};
+  // Queue the key once: a re-remember of a cached buffer must not leave a
+  // second order entry whose eviction would count against a live one.
+  if (fresh) order_.push_back(key);
+  while (cache_.size() > capacity_ && !order_.empty()) {
+    cache_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+}  // namespace tota::wire

@@ -1,0 +1,112 @@
+// The radio frame envelope — the single definition of what a TOTA node
+// puts on the air (grammar: docs/WIRE.md).
+//
+// One envelope per frame, three kinds:
+//
+//   0x01 TUPLE   <tuple encoding>            — a propagating tuple copy
+//   0x02 RETRACT <origin, seq, removed_hop>  — replica removal announcement
+//   0x03 PROBE   <origin, seq>               — request re-announcement
+//
+// Frame owns all envelope encoding and decoding; nothing outside this
+// file writes or interprets a FrameKind byte.  The tuple *body* stays
+// opaque here (the wire layer cannot know tota::Tuple): a decoded TUPLE
+// frame exposes the body as a span into the source buffer and the
+// receiving engine parses it — once per broadcast when it can reach the
+// FrameCodec below, once per receiver on the span-only fallback path.
+//
+// FrameCodec is the decode-once cache of the broadcast medium.  The
+// simulator delivers one shared immutable buffer to every receiver of a
+// broadcast; the first receiver decodes the tuple body into an immutable
+// prototype and remembers it keyed by buffer identity, and every later
+// receiver of the same frame gets the prototype back (a cache *hit*) and
+// clones it instead of re-parsing.  Hits and misses are counted as
+// wire.frame.decode_hit / wire.frame.decode_miss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "obs/metrics.h"
+#include "wire/buffer.h"
+
+namespace tota::wire {
+
+enum class FrameKind : std::uint8_t { kTuple = 1, kRetract = 2, kProbe = 3 };
+
+/// A decoded frame envelope.  For kTuple, `tuple_body` views into the
+/// buffer decode() was called on and is valid only while that buffer
+/// lives; kRetract/kProbe are fully decoded here.
+struct Frame {
+  FrameKind kind = FrameKind::kTuple;
+  /// kRetract / kProbe: the tuple the control message is about.
+  TupleUid uid;
+  /// kRetract: the hop value the announcing node removed.
+  int removed_hop = 0;
+  /// kTuple: the undecoded tuple encoding (envelope stripped).
+  std::span<const std::uint8_t> tuple_body;
+
+  /// Parses an envelope.  Control frames are validated to the last byte;
+  /// a TUPLE frame's body is left for the tuple decoder.  Throws
+  /// DecodeError on truncated input or an unknown kind byte.
+  static Frame decode(std::span<const std::uint8_t> payload);
+
+  /// Builds a TUPLE frame around a caller-encoded body: writes the
+  /// envelope, then hands the (pre-sized by `size_hint`) writer to
+  /// `encode_body`.
+  static Bytes tuple(const std::function<void(Writer&)>& encode_body,
+                     std::size_t size_hint = 128);
+  static Bytes retract(const TupleUid& uid, int removed_hop);
+  static Bytes probe(const TupleUid& uid);
+};
+
+/// Decode-once cache over shared broadcast buffers.
+///
+/// Keyed by buffer *identity* (the pointer), not content: the simulator
+/// hands every receiver of one broadcast the same shared_ptr, so pointer
+/// equality is exactly "same transmission".  The cache holds a strong
+/// reference to each remembered buffer, which pins the address for the
+/// entry's lifetime — no ABA hazard.  Entries are evicted FIFO once
+/// `capacity` is exceeded; an evicted frame simply decodes again.
+///
+/// Prototypes are type-erased (shared_ptr<const void>) because the wire
+/// layer cannot name tota::Tuple; the engine casts back to the concrete
+/// prototype type it stored.  Single-threaded, like the simulator.
+class FrameCodec {
+ public:
+  using Prototype = std::shared_ptr<const void>;
+
+  /// Registers wire.frame.decode_hit / wire.frame.decode_miss in
+  /// `metrics` (which must outlive the codec).
+  explicit FrameCodec(obs::MetricsRegistry& metrics,
+                      std::size_t capacity = 128);
+
+  /// The prototype remembered for `buffer`, or nullptr.  Counts one
+  /// decode_hit or decode_miss — call exactly once per delivered frame.
+  [[nodiscard]] Prototype lookup(const std::shared_ptr<const Bytes>& buffer);
+
+  /// Remembers `prototype` as the decoded form of `buffer` (after a
+  /// lookup() miss and a successful parse; failed parses are not cached).
+  void remember(std::shared_ptr<const Bytes> buffer, Prototype prototype);
+
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Bytes> buffer;  // pins the key's address
+    Prototype prototype;
+  };
+
+  std::unordered_map<const Bytes*, Entry> cache_;
+  std::deque<const Bytes*> order_;  // insertion order, for FIFO eviction
+  std::size_t capacity_;
+  obs::Counter& hit_;
+  obs::Counter& miss_;
+};
+
+}  // namespace tota::wire

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tota/platform.h"
+#include "wire/frame.h"
 
 namespace tota::testing {
 
@@ -24,6 +25,10 @@ class FakePlatform final : public Platform {
   [[nodiscard]] Vec2 position() const override { return pos; }
 
   [[nodiscard]] Rng& rng() override { return rng_; }
+
+  /// Tests exercising the decode-once path point this at a FrameCodec;
+  /// left null, the engine uses its per-receiver span fallback.
+  [[nodiscard]] wire::FrameCodec* frame_codec() override { return codec; }
 
   /// Runs (and clears) every pending scheduled action.
   void run_scheduled() {
@@ -46,6 +51,7 @@ class FakePlatform final : public Platform {
   std::vector<std::pair<SimTime, std::function<void()>>> scheduled;
   SimTime time;
   Vec2 pos;
+  wire::FrameCodec* codec = nullptr;
 
  private:
   Rng rng_{12345};

@@ -422,6 +422,109 @@ TEST_F(EngineTest, PassthroughMemoryIsBounded) {
   EXPECT_EQ(platform_.broadcasts.size(), relayed + 1);
 }
 
+TEST_F(EngineTest, TruncatedControlFramesCountedAndHarmless) {
+  // A stored tuple whose neighbour state must survive garbage frames.
+  GradientTuple remote("field");
+  remote.set_uid(TupleUid{NodeId{9}, 1});
+  engine_.on_datagram(NodeId{5}, tuple_frame(remote));
+  ASSERT_NE(space_.find(remote.uid()), nullptr);
+  platform_.broadcasts.clear();
+
+  // Every strict prefix of RETRACT and PROBE frames (truncated varints
+  // included) must count a decode failure and change nothing.
+  for (const wire::Bytes& whole :
+       {wire::Frame::retract(remote.uid(), 7), wire::Frame::probe(remote.uid())}) {
+    for (std::size_t len = 1; len < whole.size(); ++len) {
+      const auto before = engine_.decode_failures();
+      engine_.on_datagram(NodeId{5},
+                          std::span(whole.data(), len));
+      EXPECT_EQ(engine_.decode_failures(), before + 1) << "len=" << len;
+    }
+  }
+  // The replica is still stored, still justified by neighbour 5 (a real
+  // RETRACT would have cascaded), and nothing was transmitted.
+  EXPECT_NE(space_.find(remote.uid()), nullptr);
+  EXPECT_EQ(engine_.maintenance_stats().retractions_cascaded, 0u);
+  EXPECT_TRUE(platform_.broadcasts.empty());
+}
+
+TEST_F(EngineTest, DecodeFailureMetricRecorded) {
+  obs::Hub hub;
+  Engine engine(NodeId{3}, platform_, space_, bus_, {}, &hub);
+  engine.on_datagram(NodeId{5}, wire::Bytes{99});
+  EXPECT_EQ(hub.metrics.get("engine.decode_fail"), 1);
+}
+
+// --- BoundedUidFifo --------------------------------------------------------
+
+TEST(BoundedUidFifoTest, EvictsOldestHalfBeyondCapacity) {
+  BoundedUidFifo<std::monostate> fifo(4);
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_TRUE(fifo.insert(TupleUid{NodeId{1}, seq}));
+  }
+  // 5 entries > 4 ⇒ evict 5/2 = 2 oldest.
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 1}));
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 2}));
+  EXPECT_TRUE(fifo.contains(TupleUid{NodeId{1}, 3}));
+  EXPECT_TRUE(fifo.contains(TupleUid{NodeId{1}, 5}));
+}
+
+TEST(BoundedUidFifoTest, StaleSlotsDoNotSpendEvictionQuota) {
+  // Regression: erased uids leave stale slots in the insertion-order
+  // deque.  The old eviction loop counted those slots against the
+  // quota, evicting live entries well before capacity.
+  BoundedUidFifo<std::monostate> fifo(4);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    fifo.insert(TupleUid{NodeId{1}, seq});
+  }
+  fifo.erase(TupleUid{NodeId{1}, 1});
+  fifo.erase(TupleUid{NodeId{1}, 2});
+  fifo.insert(TupleUid{NodeId{1}, 4});
+  fifo.insert(TupleUid{NodeId{1}, 5});
+  ASSERT_EQ(fifo.size(), 3u);
+
+  // Overflow: quota is 5/2 = 2 *live* evictions — the two stale front
+  // slots must be skipped, leaving {5, 6, 7}.
+  fifo.insert(TupleUid{NodeId{1}, 6});
+  fifo.insert(TupleUid{NodeId{1}, 7});
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 3}));
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 4}));
+  EXPECT_TRUE(fifo.contains(TupleUid{NodeId{1}, 5}));
+  EXPECT_TRUE(fifo.contains(TupleUid{NodeId{1}, 6}));
+  EXPECT_TRUE(fifo.contains(TupleUid{NodeId{1}, 7}));
+}
+
+TEST(BoundedUidFifoTest, ReinsertedUidNotEvictedByItsStaleSlot) {
+  // An erased-then-reinserted uid reuses the key; its *old* deque slot
+  // must not evict the new entry.
+  BoundedUidFifo<int> fifo(4);
+  const TupleUid victim{NodeId{1}, 1};
+  fifo.insert(victim, 10);
+  fifo.erase(victim);
+  for (std::uint64_t seq = 2; seq <= 4; ++seq) {
+    fifo.insert(TupleUid{NodeId{1}, seq}, 0);
+  }
+  fifo.insert(victim, 20);  // re-insert: newest entry, stale slot at front
+  ASSERT_EQ(fifo.size(), 4u);
+
+  fifo.insert(TupleUid{NodeId{1}, 5}, 0);  // overflow, quota 2
+  // Evicted: 2 and 3 (the oldest live); the re-inserted victim survives
+  // with its new value.
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 2}));
+  EXPECT_FALSE(fifo.contains(TupleUid{NodeId{1}, 3}));
+  ASSERT_TRUE(fifo.contains(victim));
+  EXPECT_EQ(*fifo.find(victim), 20);
+}
+
+TEST(BoundedUidFifoTest, InsertOnExistingUidKeepsStoredValue) {
+  BoundedUidFifo<int> fifo(8);
+  EXPECT_TRUE(fifo.insert(TupleUid{NodeId{1}, 1}, 10));
+  EXPECT_FALSE(fifo.insert(TupleUid{NodeId{1}, 1}, 20));
+  EXPECT_EQ(*fifo.find(TupleUid{NodeId{1}, 1}), 10);
+}
+
 TEST_F(EngineTest, PassThroughProcessedOncePerNode) {
   // A modifier tuple is pass-through; a second copy via another neighbour
   // must not re-run effects or re-propagate.

@@ -1,6 +1,7 @@
 // Unit tests for src/wire: buffer primitives, values, records, registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "wire/buffer.h"
@@ -27,6 +28,34 @@ TEST(BufferTest, FixedWidthRoundTrip) {
   EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
   EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
   EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BufferTest, ReservePreSizesWithoutChangingOutput) {
+  Writer plain;
+  Writer reserved;
+  reserved.reserve(4096);
+  for (int i = 0; i < 100; ++i) {
+    plain.uvarint(static_cast<std::uint64_t>(i));
+    reserved.uvarint(static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(plain.bytes().size(), reserved.bytes().size());
+  EXPECT_TRUE(std::equal(plain.bytes().begin(), plain.bytes().end(),
+                         reserved.bytes().begin()));
+}
+
+TEST(BufferTest, ReserveIsRelativeToCurrentSize) {
+  // reserve(n) guarantees room for n *more* bytes: after writing k bytes,
+  // a reserve(n) writer can append n bytes without reallocating.  Only
+  // behaviour is asserted (capacity is unobservable through the API):
+  // interleaved reserves must leave content identical.
+  Writer w;
+  w.u32(7);
+  w.reserve(16);
+  w.u64(9);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 9u);
   EXPECT_TRUE(r.done());
 }
 
