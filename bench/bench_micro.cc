@@ -21,9 +21,11 @@ class NullPlatform final : public Platform {
     bytes_out += payload.size();
   }
   [[nodiscard]] SimTime now() const override { return time; }
-  void schedule(SimTime, std::function<void()> action) override {
+  TimerId schedule(SimTime, std::function<void()> action) override {
     pending.push_back(std::move(action));
+    return next_timer_++;
   }
+  void cancel(TimerId) override {}
   [[nodiscard]] Vec2 position() const override { return {}; }
   [[nodiscard]] Rng& rng() override { return rng_; }
   [[nodiscard]] wire::FrameCodec* frame_codec() override { return codec; }
@@ -35,6 +37,7 @@ class NullPlatform final : public Platform {
 
  private:
   Rng rng_{1};
+  TimerId next_timer_ = 1;
 };
 
 tuples::GradientTuple sample_tuple() {

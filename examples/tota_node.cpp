@@ -1,0 +1,207 @@
+// tota_node — one live TOTA node as a real OS process.
+//
+// N of these on one UDP group form a TOTA network with no simulator in
+// sight: discovery beacons synthesize the neighbourhood, the engine
+// propagates and self-maintains tuples over the shared socket, and every
+// layer above the Platform seam is byte-for-byte the code the simulator
+// runs.  docs/NET.md and the README's "Running on a real network"
+// section walk through a 3-terminal session; scripts/smoke_net.sh drives
+// the same setup from CI.
+//
+// Output is line-oriented and machine-parseable on purpose (the smoke
+// test greps it):
+//   READ t_ms=<time> name=<field> hops=<n|absent>     periodic poll
+//   FINAL name=<field> hops=<n|absent> neighbors=<n> up=<n> down=<n>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/live_platform.h"
+#include "obs/export.h"
+#include "tota/middleware.h"
+#include "tuples/all.h"
+#include "tuples/gradient_tuple.h"
+
+using namespace tota;
+
+namespace {
+
+struct Cli {
+  net::LiveOptions live;
+  std::string inject;         // gradient name to inject, "" = none
+  std::string read;           // gradient name to poll, "" = none
+  std::int64_t duration_ms = 3000;
+  std::int64_t read_every_ms = 250;
+  std::string metrics_path;   // "" = don't write
+  bool probe = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --id N [options]\n"
+      "  --id N             node identity (nonzero, unique per group)\n"
+      "  --port P           UDP port (default 47000)\n"
+      "  --group ADDR       multicast group / broadcast address\n"
+      "  --mode mcast|bcast transport mode (default mcast; bcast +\n"
+      "                     group 127.255.255.255 runs on loopback)\n"
+      "  --ifaddr A         multicast interface address (e.g. 127.0.0.1)\n"
+      "  --inject NAME      inject a gradient field named NAME\n"
+      "  --read NAME        poll + print the named gradient's hop value\n"
+      "  --duration-ms D    lifetime before the FINAL line (default 3000)\n"
+      "  --read-every-ms R  poll period (default 250)\n"
+      "  --beacon-ms B      HELLO period (default 500)\n"
+      "  --expiry-k K       missed beacons before neighbour expiry (3)\n"
+      "  --jitter J         beacon jitter fraction (default 0.2)\n"
+      "  --metrics PATH     write the node's metrics JSON at exit\n"
+      "  --probe            only test socket availability (exit 0/2)\n",
+      argv0);
+}
+
+bool parse_cli(int argc, char** argv, Cli* cli) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--probe") {
+      cli->probe = true;
+    } else if (arg == "--id" && (v = need(i))) {
+      cli->live.id = NodeId{std::strtoull(v, nullptr, 10)};
+    } else if (arg == "--port" && (v = need(i))) {
+      cli->live.transport.port =
+          static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--group" && (v = need(i))) {
+      cli->live.transport.group = v;
+    } else if (arg == "--ifaddr" && (v = need(i))) {
+      cli->live.transport.ifaddr = v;
+    } else if (arg == "--mode" && (v = need(i))) {
+      if (std::strcmp(v, "bcast") == 0) {
+        cli->live.transport.mode = net::UdpOptions::Mode::kBroadcast;
+      } else if (std::strcmp(v, "mcast") == 0) {
+        cli->live.transport.mode = net::UdpOptions::Mode::kMulticast;
+      } else {
+        return false;
+      }
+    } else if (arg == "--inject" && (v = need(i))) {
+      cli->inject = v;
+    } else if (arg == "--read" && (v = need(i))) {
+      cli->read = v;
+    } else if (arg == "--duration-ms" && (v = need(i))) {
+      cli->duration_ms = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--read-every-ms" && (v = need(i))) {
+      cli->read_every_ms = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--beacon-ms" && (v = need(i))) {
+      cli->live.discovery.beacon_period =
+          SimTime::from_millis(std::strtod(v, nullptr));
+    } else if (arg == "--expiry-k" && (v = need(i))) {
+      cli->live.discovery.expiry_missed_beacons =
+          static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--jitter" && (v = need(i))) {
+      cli->live.discovery.beacon_jitter = std::strtod(v, nullptr);
+    } else if (arg == "--metrics" && (v = need(i))) {
+      cli->metrics_path = v;
+    } else {
+      return false;
+    }
+  }
+  return cli->probe || cli->live.id.valid();
+}
+
+/// "<n>" or "absent" for the named gradient's local hop value.
+std::string hops_str(const Middleware& mw, const std::string& name) {
+  const auto replica = mw.read_one(
+      Pattern::of_type(tuples::GradientTuple::kTag).eq("name", name));
+  if (replica == nullptr) return "absent";
+  return std::to_string(replica->content().at("hopcount").as_int());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, &cli)) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  obs::Hub hub;
+  net::EventLoop loop;
+  net::LivePlatform platform(loop, cli.live, &hub);
+
+  if (cli.probe) {
+    // Socket availability check for the smoke test: exit 2 (not a
+    // failure code the harness would flag) when this environment cannot
+    // open the transport, so the caller can skip instead of failing.
+    if (!platform.start()) {
+      std::fprintf(stderr, "probe: %s\n", platform.error().c_str());
+      return 2;
+    }
+    std::printf("probe: ok\n");
+    return 0;
+  }
+
+  tuples::register_standard_tuples();
+  Middleware mw(cli.live.id, platform, {}, &hub);
+  platform.attach(mw);
+
+  if (!platform.start()) {
+    std::fprintf(stderr, "tota_node: cannot open transport: %s\n",
+                 platform.error().c_str());
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string field = cli.inject.empty() ? cli.read : cli.inject;
+  if (!cli.inject.empty()) {
+    mw.inject(std::make_unique<tuples::GradientTuple>(cli.inject));
+    std::printf("INJECT name=%s\n", cli.inject.c_str());
+    std::fflush(stdout);
+  }
+
+  // Periodic poll of the gradient; self-rescheduling so it rides the
+  // same timer queue as the middleware's own maintenance.
+  std::function<void()> poll_read = [&] {
+    if (!field.empty()) {
+      std::printf("READ t_ms=%lld name=%s hops=%s\n",
+                  static_cast<long long>(loop.now().millis()), field.c_str(),
+                  hops_str(mw, field).c_str());
+      std::fflush(stdout);
+    }
+    loop.schedule(SimTime::from_millis(
+                      static_cast<double>(cli.read_every_ms)),
+                  poll_read);
+  };
+  loop.schedule(SimTime::from_millis(static_cast<double>(cli.read_every_ms)),
+                poll_read);
+
+  loop.run_for(SimTime::from_millis(static_cast<double>(cli.duration_ms)));
+
+  const auto& m = hub.metrics;
+  std::printf("FINAL name=%s hops=%s neighbors=%zu up=%lld down=%lld\n",
+              field.empty() ? "-" : field.c_str(),
+              field.empty() ? "absent" : hops_str(mw, field).c_str(),
+              platform.discovery().neighbors().size(),
+              static_cast<long long>(m.get("net.neighbor.up")),
+              static_cast<long long>(m.get("net.neighbor.down")));
+  std::fflush(stdout);
+
+  if (!cli.metrics_path.empty()) {
+    FILE* out = std::fopen(cli.metrics_path.c_str(), "w");
+    if (out != nullptr) {
+      const std::string doc =
+          obs::bench_to_json("tota_node_" + std::to_string(cli.live.id.value()),
+                             hub)
+              .dump(2);
+      std::fwrite(doc.data(), 1, doc.size(), out);
+      std::fclose(out);
+    }
+  }
+
+  platform.stop();
+  return 0;
+}

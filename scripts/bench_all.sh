@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds Release and runs every bench binary so the BENCH_<name>.json
+# perf artefacts (docs/OBSERVABILITY.md) land in one directory — nothing
+# else runs the benches, so without this script the perf trajectory
+# stays empty.
+#
+# Usage: scripts/bench_all.sh [output-dir] [build-dir]
+#   output-dir  where BENCH_*.json + bench_*.log land (default:
+#               bench-results/)
+#   build-dir   CMake build tree to (re)use (default: build-bench/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-bench-results}
+BUILD=${2:-build-bench}
+
+echo "== bench_all: Release build =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target \
+  bench_micro bench_fig1_gradient bench_fig3_flocking bench_sec51_routing \
+  bench_sec52_gathering bench_sec6_maintenance bench_ablations
+
+mkdir -p "$OUT"
+OUT=$(cd "$OUT" && pwd)
+BUILD=$(cd "$BUILD" && pwd)
+
+echo "== bench_all: running benches (artefacts -> $OUT) =="
+failed=0
+for bin in "$BUILD"/bench/bench_*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name=$(basename "$bin")
+  echo "-- $name"
+  # Each binary writes its BENCH_<name>.json into the working directory;
+  # run them all from $OUT so the artefacts collect in one place.
+  if ! (cd "$OUT" && "$bin" >"$OUT/$name.log" 2>&1); then
+    echo "   FAILED (see $OUT/$name.log)" >&2
+    failed=1
+  fi
+done
+
+echo "== bench_all: artefacts =="
+ls -l "$OUT"/BENCH_*.json 2>/dev/null || echo "(no BENCH_*.json produced)" >&2
+exit "$failed"

@@ -29,11 +29,14 @@ class SimPlatform final : public Platform {
 
   [[nodiscard]] SimTime now() const override { return net_.now(); }
 
-  void schedule(SimTime delay, std::function<void()> action) override {
-    net_.schedule(delay, [alive = alive_, action = std::move(action)] {
+  TimerId schedule(SimTime delay, std::function<void()> action) override {
+    // sim::EventQueue ids start at 1, so they double as TimerIds directly.
+    return net_.schedule(delay, [alive = alive_, action = std::move(action)] {
       if (*alive) action();
     });
   }
+
+  void cancel(TimerId id) override { net_.cancel(id); }
 
   [[nodiscard]] Vec2 position() const override {
     if (net_.alive(id_)) last_position_ = net_.position(id_);

@@ -1,0 +1,66 @@
+#include "net/datagram.h"
+
+namespace tota::net {
+
+namespace {
+
+wire::Writer envelope(DatagramKind kind, NodeId sender,
+                      std::size_t body_hint) {
+  wire::Writer w;
+  w.reserve(2 + 1 + 9 + body_hint);
+  w.u8(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.uvarint(sender.value());
+  return w;
+}
+
+}  // namespace
+
+Datagram Datagram::decode(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  if (r.u8() != kMagic) throw wire::DecodeError("not a TOTA datagram");
+  if (r.u8() != kVersion) throw wire::DecodeError("datagram version mismatch");
+  const std::uint8_t kind_byte = r.u8();
+
+  Datagram d;
+  d.sender = NodeId{r.uvarint()};
+  if (!d.sender.valid()) throw wire::DecodeError("datagram without sender");
+  switch (kind_byte) {
+    case static_cast<std::uint8_t>(DatagramKind::kHello):
+      d.kind = DatagramKind::kHello;
+      d.seq = r.uvarint();
+      d.period = SimTime::from_millis(static_cast<double>(r.uvarint()));
+      if (d.period <= SimTime::zero()) {
+        throw wire::DecodeError("HELLO with non-positive period");
+      }
+      r.expect_done();
+      return d;
+    case static_cast<std::uint8_t>(DatagramKind::kData):
+      d.kind = DatagramKind::kData;
+      // The rest of the datagram is the engine frame, verbatim.
+      d.payload = bytes.subspan(bytes.size() - r.remaining());
+      return d;
+    default:
+      throw wire::DecodeError("unknown datagram kind");
+  }
+}
+
+wire::Bytes Datagram::hello(NodeId sender, std::uint64_t seq, SimTime period) {
+  wire::Writer w = envelope(DatagramKind::kHello, sender, 10);
+  w.uvarint(seq);
+  // Whole milliseconds on the wire; sub-millisecond periods round up so
+  // the advertised value stays positive (decode rejects 0).
+  const double ms = period.millis();
+  w.uvarint(ms < 1.0 ? 1 : static_cast<std::uint64_t>(ms));
+  return w.take();
+}
+
+wire::Bytes Datagram::data(NodeId sender,
+                           std::span<const std::uint8_t> frame) {
+  wire::Writer w = envelope(DatagramKind::kData, sender, frame.size());
+  w.raw(frame);
+  return w.take();
+}
+
+}  // namespace tota::net

@@ -1,0 +1,60 @@
+// The UDP datagram envelope — what one live TOTA process puts into a
+// socket (grammar: docs/NET.md).
+//
+// The simulator hands engines pre-attributed frames (`on_datagram(from,
+// …)` — the radio knows who transmitted); a real UDP socket does not, so
+// every live datagram carries its own sender identity.  Two kinds:
+//
+//   0x01 HELLO <seq, period_ms>  — discovery beacon (net/discovery.h)
+//   0x02 DATA  <engine frame>    — a wire::Frame envelope, verbatim
+//
+// The DATA body is exactly what Platform::broadcast was given, so the
+// engine/wire layers never learn whether they run on the simulator or on
+// sockets.  Decoding is total: malformed or foreign datagrams (wrong
+// magic, unknown version/kind, truncation) throw wire::DecodeError and
+// are counted + dropped by the receiver, never UB — a UDP port is open
+// to arbitrary garbage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "wire/buffer.h"
+
+namespace tota::net {
+
+/// First byte of every TOTA datagram; anything else is foreign traffic.
+inline constexpr std::uint8_t kMagic = 0xA7;
+/// Bumped on any incompatible envelope change.
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class DatagramKind : std::uint8_t { kHello = 1, kData = 2 };
+
+/// A decoded datagram envelope.  For kData, `payload` views into the
+/// buffer decode() was called on and is valid only while it lives.
+struct Datagram {
+  DatagramKind kind = DatagramKind::kHello;
+  /// Who sent this datagram (the live stand-in for the radio's
+  /// transmitter attribution).
+  NodeId sender;
+  /// kHello: sender's beacon sequence number (monotonic per process
+  /// lifetime; a reset signals a restarted node).
+  std::uint64_t seq = 0;
+  /// kHello: sender's advertised beacon period — receivers size their
+  /// expiry deadline from it, so mixed-config networks interoperate.
+  SimTime period;
+  /// kData: the engine frame (wire::Frame envelope), undecoded.
+  std::span<const std::uint8_t> payload;
+
+  /// Parses an envelope; throws wire::DecodeError on anything that is
+  /// not a well-formed TOTA datagram.
+  static Datagram decode(std::span<const std::uint8_t> bytes);
+
+  static wire::Bytes hello(NodeId sender, std::uint64_t seq, SimTime period);
+  static wire::Bytes data(NodeId sender,
+                          std::span<const std::uint8_t> frame);
+};
+
+}  // namespace tota::net

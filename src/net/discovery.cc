@@ -1,0 +1,101 @@
+#include "net/discovery.h"
+
+#include <cmath>
+#include <utility>
+
+#include "net/datagram.h"
+
+namespace tota::net {
+
+Discovery::Discovery(NodeId self, tota::Platform& platform,
+                     DiscoveryOptions options, SendFn send,
+                     obs::MetricsRegistry& metrics)
+    : self_(self),
+      platform_(platform),
+      options_(options),
+      send_(std::move(send)),
+      hello_tx_(metrics.counter("net.hello.tx")),
+      hello_rx_(metrics.counter("net.hello.rx")),
+      neighbor_up_(metrics.counter("net.neighbor.up")),
+      neighbor_down_(metrics.counter("net.neighbor.down")),
+      neighbors_gauge_(metrics.gauge("net.neighbors")) {}
+
+Discovery::~Discovery() { stop(); }
+
+void Discovery::start() {
+  if (running_) return;
+  running_ = true;
+  send_beacon();
+}
+
+void Discovery::stop() {
+  if (!running_) return;
+  running_ = false;
+  platform_.cancel(beacon_timer_);
+  beacon_timer_ = tota::Platform::kInvalidTimer;
+  for (auto& [id, n] : neighbors_) platform_.cancel(n.expiry);
+  neighbors_.clear();
+  neighbors_gauge_.set(0);
+}
+
+SimTime Discovery::expiry_after(SimTime period) const {
+  // k beacon intervals, each allowed to be maximally late: lose k-1
+  // beacons in a row and survive, lose k and expire.  Rounded (not
+  // truncated) so e.g. 100ms * 3.6 is exactly 360ms.
+  const double k = static_cast<double>(options_.expiry_missed_beacons);
+  return SimTime(std::llround(static_cast<double>(period.micros()) * k *
+                              (1.0 + options_.beacon_jitter)));
+}
+
+void Discovery::send_beacon() {
+  if (!running_) return;
+  send_(Datagram::hello(self_, beacon_seq_++, options_.beacon_period));
+  hello_tx_.inc();
+
+  // Next beacon at period * (1 ± jitter); the uniform draw comes from
+  // the platform's seeded Rng, so the whole schedule is reproducible.
+  const double spread =
+      1.0 + options_.beacon_jitter * (2.0 * platform_.rng().uniform() - 1.0);
+  beacon_timer_ = platform_.schedule(options_.beacon_period * spread,
+                                     [this] { send_beacon(); });
+}
+
+void Discovery::arm_expiry(NodeId id, Neighbor& n, SimTime period) {
+  platform_.cancel(n.expiry);
+  n.expiry =
+      platform_.schedule(expiry_after(period), [this, id] { expire(id); });
+}
+
+void Discovery::on_hello(NodeId from, std::uint64_t seq, SimTime period) {
+  if (!running_ || from == self_ || !from.valid()) return;
+  hello_rx_.inc();
+
+  auto [it, fresh] = neighbors_.try_emplace(from);
+  Neighbor& n = it->second;
+  n.last_heard = platform_.now();
+  n.last_seq = seq;
+  arm_expiry(from, n, period);
+  if (!fresh) return;
+
+  neighbor_up_.inc();
+  neighbors_gauge_.set(static_cast<double>(neighbors_.size()));
+  if (up_) up_(from);
+}
+
+void Discovery::expire(NodeId id) {
+  const auto it = neighbors_.find(id);
+  if (it == neighbors_.end()) return;
+  neighbors_.erase(it);
+  neighbor_down_.inc();
+  neighbors_gauge_.set(static_cast<double>(neighbors_.size()));
+  if (down_) down_(id);
+}
+
+std::vector<NodeId> Discovery::neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [id, _] : neighbors_) out.push_back(id);
+  return out;
+}
+
+}  // namespace tota::net

@@ -1,0 +1,125 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tota::net {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epoch_ns_(monotonic_ns()) {}
+
+SimTime EventLoop::now() const {
+  return SimTime((monotonic_ns() - epoch_ns_) / 1000);
+}
+
+EventLoop::TimerId EventLoop::schedule(SimTime delay, Action action) {
+  if (action == nullptr) throw std::invalid_argument("null timer action");
+  const TimerId id = next_timer_++;
+  const SimTime when = now() + (delay < SimTime::zero() ? SimTime::zero()
+                                                        : delay);
+  timers_.push(TimerEntry{when, next_seq_++, id});
+  timer_actions_.emplace(id, std::move(action));
+  ++live_timers_;
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  // The heap entry stays and is skipped when popped (same lazy-deletion
+  // scheme as sim::EventQueue).
+  if (timer_actions_.erase(id) > 0) --live_timers_;
+}
+
+void EventLoop::add_fd(int fd, Action on_readable) {
+  if (fd < 0) throw std::invalid_argument("negative fd");
+  if (on_readable == nullptr) throw std::invalid_argument("null fd callback");
+  fds_[fd] = std::move(on_readable);
+}
+
+void EventLoop::remove_fd(int fd) { fds_.erase(fd); }
+
+SimTime EventLoop::fire_due_timers() {
+  const SimTime t = now();
+  while (!timers_.empty()) {
+    const TimerEntry entry = timers_.top();
+    const auto it = timer_actions_.find(entry.id);
+    if (it == timer_actions_.end()) {  // cancelled; discard lazily
+      timers_.pop();
+      continue;
+    }
+    if (entry.when > t) return entry.when - t;
+    timers_.pop();
+    Action action = std::move(it->second);
+    timer_actions_.erase(it);
+    --live_timers_;
+    action();
+  }
+  return SimTime(-1);
+}
+
+void EventLoop::step(SimTime deadline) {
+  const SimTime until_timer = fire_due_timers();
+  if (stopped_) return;
+
+  // Sleep until the earliest of: next timer, run_for deadline, fd
+  // readiness.  poll() is the no-busy-wait core of the loop.
+  std::int64_t wait_ms = -1;  // indefinite
+  const auto bound = [&wait_ms](SimTime dt) {
+    // Round up so we never wake a millisecond early and spin.
+    const std::int64_t ms = (dt.micros() + 999) / 1000;
+    if (wait_ms < 0 || ms < wait_ms) wait_ms = ms;
+  };
+  if (until_timer >= SimTime::zero()) bound(until_timer);
+  if (deadline >= SimTime::zero()) {
+    const SimTime dt = deadline - now();
+    bound(dt < SimTime::zero() ? SimTime::zero() : dt);
+  }
+  if (wait_ms < 0 && fds_.empty()) {
+    // Nothing to wait for at all: stop instead of sleeping forever.
+    stopped_ = true;
+    return;
+  }
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, _] : fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  const int n = ::poll(pfds.data(), pfds.size(),
+                       static_cast<int>(std::min<std::int64_t>(
+                           wait_ms < 0 ? 60'000 : wait_ms, 60'000)));
+  if (n <= 0) return;  // timeout or EINTR; timers fire next iteration
+
+  for (const pollfd& p : pfds) {
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    // The callback may remove_fd (even its own); re-check liveness.
+    const auto it = fds_.find(p.fd);
+    if (it != fds_.end()) it->second();
+    if (stopped_) return;
+  }
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) step(SimTime(-1));
+}
+
+void EventLoop::run_for(SimTime duration) {
+  stopped_ = false;
+  const SimTime deadline = now() + duration;
+  while (!stopped_ && now() < deadline) step(deadline);
+}
+
+}  // namespace tota::net

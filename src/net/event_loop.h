@@ -1,0 +1,104 @@
+// EventLoop — the real-time runtime of a live TOTA node.
+//
+// The simulator's EventQueue advances a virtual clock; this loop runs the
+// same shape of computation against the machine's monotonic clock and a
+// poll(2) readiness wait, so one thread serves sockets and timers with no
+// busy-wait: each iteration sleeps in poll() until either a registered fd
+// turns readable or the earliest timer is due.  Single-threaded by
+// design, like everything above it — callbacks run on the loop thread and
+// need no locks.
+//
+// Time is reported as tota::SimTime (microseconds since loop
+// construction), so the engine/middleware layers see the same clock type
+// on both platforms and never learn which one they run on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace tota::net {
+
+class EventLoop {
+ public:
+  using TimerId = std::uint64_t;
+  using Action = std::function<void()>;
+
+  EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- time & timers ------------------------------------------------------
+
+  /// Monotonic time since loop construction (CLOCK_MONOTONIC, so wall
+  /// clock steps cannot disorder timers).
+  [[nodiscard]] SimTime now() const;
+
+  /// Runs `action` once, `delay` from now, on the loop thread.  Never
+  /// synchronous; ids start at 1 (0 is free for "no timer").
+  TimerId schedule(SimTime delay, Action action);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void cancel(TimerId id);
+
+  // --- fd readiness -------------------------------------------------------
+
+  /// Invokes `on_readable` (from run()) whenever `fd` has data to read.
+  /// The fd should be non-blocking; the callback must drain it.
+  void add_fd(int fd, Action on_readable);
+  void remove_fd(int fd);
+
+  // --- driving ------------------------------------------------------------
+
+  /// Runs timers and fd callbacks until stop() is called.
+  void run();
+
+  /// Runs for `duration`, then returns (used by daemons with a fixed
+  /// lifetime and by tests).
+  void run_for(SimTime duration);
+
+  /// Makes run()/run_for() return after the current iteration; safe to
+  /// call from a callback.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_timers() const { return live_timers_; }
+
+ private:
+  struct TimerEntry {
+    SimTime when;
+    std::uint64_t seq;  // FIFO among same-instant timers
+    TimerId id;
+  };
+  struct Later {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One poll()+dispatch iteration, waiting at most until `deadline`
+  /// (negative micros = wait indefinitely for fds/timers).
+  void step(SimTime deadline);
+
+  /// Fires every timer due at or before now(); returns the delay until
+  /// the next pending timer, or a negative SimTime when none is pending.
+  SimTime fire_due_timers();
+
+  std::int64_t epoch_ns_ = 0;  // CLOCK_MONOTONIC at construction
+  bool stopped_ = false;
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later> timers_;
+  std::unordered_map<TimerId, Action> timer_actions_;
+  std::size_t live_timers_ = 0;
+  TimerId next_timer_ = 1;
+  std::uint64_t next_seq_ = 0;
+
+  std::unordered_map<int, Action> fds_;
+};
+
+}  // namespace tota::net

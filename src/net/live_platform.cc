@@ -1,0 +1,95 @@
+#include "net/live_platform.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/datagram.h"
+#include "tota/middleware.h"
+
+namespace tota::net {
+
+LivePlatform::LivePlatform(EventLoop& loop, LiveOptions options,
+                           obs::Hub* hub)
+    : loop_(loop),
+      options_(options),
+      hub_(hub != nullptr ? *hub : obs::default_hub()),
+      rng_(options.seed != 0 ? options.seed
+                             : 0x70A7A000u ^ options.id.value()),
+      transport_(options.transport, hub_.metrics),
+      discovery_(
+          options.id, *this, options.discovery,
+          [this](wire::Bytes hello) { transport_.send(hello); },
+          hub_.metrics),
+      data_tx_(hub_.metrics.counter("net.data.tx")),
+      data_rx_(hub_.metrics.counter("net.data.rx")),
+      data_echo_(hub_.metrics.counter("net.data.echo")),
+      frame_bad_(hub_.metrics.counter("net.frame.bad")) {
+  if (!options_.id.valid()) {
+    throw std::invalid_argument("LivePlatform requires a nonzero node id");
+  }
+  discovery_.on_neighbor_up([this](NodeId n) {
+    if (middleware_ != nullptr) middleware_->on_neighbor_up(n);
+  });
+  discovery_.on_neighbor_down([this](NodeId n) {
+    if (middleware_ != nullptr) middleware_->on_neighbor_down(n);
+  });
+}
+
+LivePlatform::~LivePlatform() { stop(); }
+
+void LivePlatform::attach(Middleware& middleware) {
+  middleware_ = &middleware;
+}
+
+bool LivePlatform::start() {
+  if (started_) return true;
+  if (!transport_.open()) return false;
+  loop_.add_fd(transport_.fd(), [this] {
+    transport_.drain(
+        [this](std::span<const std::uint8_t> bytes) { handle_datagram(bytes); });
+  });
+  discovery_.start();
+  started_ = true;
+  return true;
+}
+
+void LivePlatform::stop() {
+  if (!started_) return;
+  started_ = false;
+  discovery_.stop();
+  loop_.remove_fd(transport_.fd());
+  transport_.close();
+}
+
+void LivePlatform::broadcast(wire::Bytes payload) {
+  transport_.send(Datagram::data(options_.id, payload));
+  data_tx_.inc();
+}
+
+void LivePlatform::handle_datagram(std::span<const std::uint8_t> bytes) {
+  Datagram d;
+  try {
+    d = Datagram::decode(bytes);
+  } catch (const wire::DecodeError&) {
+    frame_bad_.inc();  // foreign or corrupt traffic on our port
+    return;
+  }
+
+  switch (d.kind) {
+    case DatagramKind::kHello:
+      discovery_.on_hello(d.sender, d.seq, d.period);
+      return;
+    case DatagramKind::kData:
+      if (d.sender == options_.id) {
+        data_echo_.inc();  // our own broadcast, looped back by the medium
+        return;
+      }
+      data_rx_.inc();
+      if (middleware_ != nullptr) {
+        middleware_->on_datagram(d.sender, d.payload);
+      }
+      return;
+  }
+}
+
+}  // namespace tota::net

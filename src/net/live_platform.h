@@ -1,0 +1,122 @@
+// LivePlatform — tota::Platform on real sockets and the real clock.
+//
+// The production-shaped twin of emu::SimPlatform: where that binds a
+// Middleware to the discrete-event simulator, this binds one to a
+// net::EventLoop (timers + readiness), a net::UdpTransport (the shared
+// broadcast channel), and a net::Discovery (beacon-based neighbour
+// presence).  The engine/wire/tuples layers run unmodified on either —
+// that is the point of the Platform seam.
+//
+// Differences from the simulator, all deliberate:
+//   * frame_codec() stays nullptr: each process owns its private receive
+//     buffer, so there is no cross-receiver decode-once cache to share;
+//     the engine takes its span fallback path.
+//   * Sender attribution comes from the datagram envelope
+//     (net/datagram.h), not from the radio model.
+//   * A broadcast medium echoes one's own frames; the platform drops
+//     them by sender id (counted as net.data.echo).
+//   * Neighbour up/down upcalls are synthesized by Discovery instead of
+//     injected by the simulator — so a killed process is observed as k
+//     missed beacons, and the engine's self-maintenance (retraction,
+//     hold-down, probes) runs for real.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/geometry.h"
+#include "net/discovery.h"
+#include "net/event_loop.h"
+#include "net/udp_transport.h"
+#include "obs/hub.h"
+#include "tota/platform.h"
+
+namespace tota {
+class Middleware;
+}  // namespace tota
+
+namespace tota::net {
+
+struct LiveOptions {
+  /// This node's identity on the wire (must be nonzero and unique per
+  /// group; collisions make two processes one schizophrenic node).
+  NodeId id;
+  UdpOptions transport;
+  DiscoveryOptions discovery;
+  /// Reported by position(); live nodes without a real location sensor
+  /// just stand still wherever they are configured.
+  Vec2 position{};
+  /// Seed for the node-local Rng; 0 derives one from `id` so distinct
+  /// nodes get distinct (but reproducible) jitter streams.
+  std::uint64_t seed = 0;
+};
+
+class LivePlatform final : public tota::Platform {
+ public:
+  /// `loop` and `hub` (nullptr = obs::default_hub()) must outlive the
+  /// platform.  No sockets are touched until start().
+  LivePlatform(EventLoop& loop, LiveOptions options, obs::Hub* hub = nullptr);
+  ~LivePlatform() override;
+
+  LivePlatform(const LivePlatform&) = delete;
+  LivePlatform& operator=(const LivePlatform&) = delete;
+
+  /// Routes upcalls (datagrams, neighbour up/down) into `middleware`,
+  /// which must outlive the platform or be detached by stop().
+  void attach(Middleware& middleware);
+
+  /// Opens the socket, registers it with the loop, and starts beaconing.
+  /// False (with error() set) when the socket cannot be opened — callers
+  /// can skip gracefully where sockets are unavailable.
+  [[nodiscard]] bool start();
+
+  /// Stops discovery (silently), deregisters and closes the socket.
+  void stop();
+
+  [[nodiscard]] const std::string& error() const {
+    return transport_.error();
+  }
+
+  // --- tota::Platform -----------------------------------------------------
+
+  void broadcast(wire::Bytes payload) override;
+  [[nodiscard]] SimTime now() const override { return loop_.now(); }
+  TimerId schedule(SimTime delay, std::function<void()> action) override {
+    return loop_.schedule(delay, std::move(action));
+  }
+  void cancel(TimerId id) override { loop_.cancel(id); }
+  [[nodiscard]] Vec2 position() const override { return options_.position; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  // frame_codec(): inherited nullptr — buffers are not shared across
+  // processes, so there is nothing to decode once.
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] NodeId id() const { return options_.id; }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] Discovery& discovery() { return discovery_; }
+  [[nodiscard]] UdpTransport& transport() { return transport_; }
+  [[nodiscard]] obs::Hub& hub() { return hub_; }
+
+ private:
+  /// Decodes and routes one received datagram; foreign/garbage datagrams
+  /// count net.frame.bad and are dropped.
+  void handle_datagram(std::span<const std::uint8_t> bytes);
+
+  EventLoop& loop_;
+  LiveOptions options_;
+  obs::Hub& hub_;
+  Rng rng_;
+  UdpTransport transport_;
+  Discovery discovery_;
+  Middleware* middleware_ = nullptr;
+  bool started_ = false;
+
+  obs::Counter& data_tx_;
+  obs::Counter& data_rx_;
+  obs::Counter& data_echo_;
+  obs::Counter& frame_bad_;
+};
+
+}  // namespace tota::net

@@ -1,0 +1,181 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+
+namespace tota::net {
+
+namespace {
+
+/// Largest datagram we accept; a TOTA frame is far smaller, but the port
+/// is open to the world.
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+bool parse_addr(const std::string& text, in_addr* out) {
+  return ::inet_pton(AF_INET, text.c_str(), out) == 1;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(UdpOptions options, obs::MetricsRegistry& metrics)
+    : options_(std::move(options)),
+      tx_(metrics.counter("net.udp.tx")),
+      tx_bytes_(metrics.counter("net.udp.tx_bytes")),
+      rx_(metrics.counter("net.udp.rx")),
+      rx_bytes_(metrics.counter("net.udp.rx_bytes")),
+      send_err_(metrics.counter("net.udp.send_err")),
+      rx_trunc_(metrics.counter("net.udp.rx_trunc")) {}
+
+UdpTransport::~UdpTransport() { close(); }
+
+bool UdpTransport::fail(const std::string& what) {
+  error_ = what + ": " + ::strerror(errno);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return false;
+}
+
+bool UdpTransport::open() {
+  if (fd_ >= 0) return true;
+
+  in_addr group{};
+  if (!parse_addr(options_.group, &group)) {
+    error_ = "bad group address: " + options_.group;
+    return false;
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) return fail("socket");
+
+  // Every node on this host shares the port (shared-channel semantics);
+  // both options are needed for broadcast/multicast fan-out to all of
+  // them.
+  const int one = 1;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return fail("SO_REUSEADDR");
+  }
+#ifdef SO_REUSEPORT
+  if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    return fail("SO_REUSEPORT");
+  }
+#endif
+
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = htons(options_.port);
+  bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) < 0) {
+    return fail("bind");
+  }
+
+  if (options_.mode == UdpOptions::Mode::kBroadcast) {
+    if (::setsockopt(fd_, SOL_SOCKET, SO_BROADCAST, &one, sizeof(one)) < 0) {
+      return fail("SO_BROADCAST");
+    }
+  } else {
+    in_addr ifaddr{};
+    ifaddr.s_addr = htonl(INADDR_ANY);
+    if (!options_.ifaddr.empty() && !parse_addr(options_.ifaddr, &ifaddr)) {
+      error_ = "bad interface address: " + options_.ifaddr;
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+
+    ip_mreq mreq{};
+    mreq.imr_multiaddr = group;
+    mreq.imr_interface = ifaddr;
+    if (::setsockopt(fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                     sizeof(mreq)) < 0) {
+      return fail("IP_ADD_MEMBERSHIP");
+    }
+    // We must hear our own transmissions' group: co-located processes
+    // (and CI) rely on loopback delivery.
+    const unsigned char loop = 1;
+    if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop,
+                     sizeof(loop)) < 0) {
+      return fail("IP_MULTICAST_LOOP");
+    }
+    const unsigned char ttl =
+        static_cast<unsigned char>(options_.ttl < 0 ? 0 : options_.ttl);
+    if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl)) <
+        0) {
+      return fail("IP_MULTICAST_TTL");
+    }
+    if (!options_.ifaddr.empty() &&
+        ::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_IF, &ifaddr,
+                     sizeof(ifaddr)) < 0) {
+      return fail("IP_MULTICAST_IF");
+    }
+  }
+
+  error_.clear();
+  return true;
+}
+
+void UdpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpTransport::send(std::span<const std::uint8_t> datagram) {
+  if (fd_ < 0) {
+    send_err_.inc();
+    return false;
+  }
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.group.c_str(), &dest.sin_addr) != 1) {
+    send_err_.inc();
+    return false;
+  }
+  const ssize_t n =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  if (n != static_cast<ssize_t>(datagram.size())) {
+    // EAGAIN (full send buffer) and friends: the datagram is dropped, as
+    // on any lossy broadcast medium.  Counted, not thrown.
+    error_ = std::string("sendto: ") + ::strerror(errno);
+    send_err_.inc();
+    return false;
+  }
+  tx_.inc();
+  tx_bytes_.inc(static_cast<std::int64_t>(datagram.size()));
+  return true;
+}
+
+std::size_t UdpTransport::drain(
+    const std::function<void(std::span<const std::uint8_t>)>& sink) {
+  if (fd_ < 0) return 0;
+  std::array<std::uint8_t, kMaxDatagram> buffer;
+  std::size_t delivered = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), MSG_TRUNC);
+    if (n < 0) break;  // EAGAIN: queue drained (or transient error)
+    if (static_cast<std::size_t>(n) > buffer.size()) {
+      rx_trunc_.inc();  // kernel truncated an oversized datagram
+      continue;
+    }
+    rx_.inc();
+    rx_bytes_.inc(n);
+    ++delivered;
+    sink(std::span<const std::uint8_t>(buffer.data(),
+                                       static_cast<std::size_t>(n)));
+  }
+  return delivered;
+}
+
+}  // namespace tota::net

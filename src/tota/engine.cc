@@ -19,6 +19,29 @@ Engine::Engine(NodeId self, Platform& platform, TupleSpace& space,
       seen_passthrough_(maintenance.passthrough_memory),
       repair_pending_(maintenance.passthrough_memory) {}
 
+Engine::~Engine() {
+  // Recurring maintenance timers (hold-down expiries, coalesced
+  // re-propagation) capture `this`; cancel the survivors so a platform
+  // that outlives the engine (live event loop) cannot fire them into a
+  // destroyed object.  SimPlatform additionally guards with an aliveness
+  // token, so in the simulator this is belt-and-braces.
+  for (const Platform::TimerId id : live_timers_) platform_.cancel(id);
+}
+
+void Engine::schedule_owned(SimTime delay, std::function<void()> action) {
+  // The callback needs its own id to retire it from live_timers_, but the
+  // id only exists after schedule() returns; the shared slot bridges the
+  // gap (schedule never runs the action synchronously).
+  auto slot = std::make_shared<Platform::TimerId>(Platform::kInvalidTimer);
+  const Platform::TimerId id = platform_.schedule(
+      delay, [this, slot, action = std::move(action)] {
+        live_timers_.erase(*slot);
+        action();
+      });
+  *slot = id;
+  live_timers_.insert(id);
+}
+
 void Engine::trace(obs::Stage stage, const TupleUid& uid, int hop) {
   hub_.tracer.record(platform_.now(), self_, stage, uid, hop);
 }

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -74,6 +75,10 @@ class Engine final : public SpaceOps {
   /// selects obs::default_hub().  The hub must outlive the engine.
   Engine(NodeId self, Platform& platform, TupleSpace& space, EventBus& bus,
          MaintenanceOptions maintenance = {}, obs::Hub* hub = nullptr);
+
+  /// Cancels every timer this engine still has pending on the platform,
+  /// so none can fire into a destroyed engine.
+  ~Engine();
 
   /// SpaceOps: removal that fires kTupleRemoved, available to effectful
   /// tuples through Context::ops.
@@ -131,6 +136,10 @@ class Engine final : public SpaceOps {
 
   /// Convenience: one trace span (obs/tracer.h) on this engine's node.
   void trace(obs::Stage stage, const TupleUid& uid, int hop);
+
+  /// Platform::schedule plus ownership: the timer is tracked in
+  /// live_timers_ until it fires and cancelled by ~Engine if it has not.
+  void schedule_owned(SimTime delay, std::function<void()> action);
 
   // --- engine_rx.cc: frame receive/decode --------------------------------
 
@@ -196,6 +205,9 @@ class Engine final : public SpaceOps {
   /// observe; bounded because a tuple whose region drains for good never
   /// reinstalls.
   BoundedUidFifo<SimTime> repair_pending_;
+  /// Timers scheduled by this engine that have not fired yet; ~Engine
+  /// cancels them (see schedule_owned).
+  std::unordered_set<Platform::TimerId> live_timers_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t decode_failures_ = 0;
   /// Grows to the largest TUPLE frame this engine has sent; pre-sizes

@@ -18,7 +18,7 @@ void Engine::on_neighbor_up(NodeId neighbor) {
   // a dense area) trigger one re-propagation round, not one per link.
   if (repropagation_pending_) return;
   repropagation_pending_ = true;
-  platform_.schedule(SimTime::zero(), [this] {
+  schedule_owned(SimTime::zero(), [this] {
     repropagation_pending_ = false;
     for (const TupleUid& uid : space_.propagated_uids()) {
       const auto* entry = space_.find(uid);
@@ -92,7 +92,7 @@ void Engine::retract_local(const TupleUid& uid, bool cascaded) {
   // Arm the hold-down and schedule the expiry probe.  A newer retraction
   // may re-arm before this one expires; HoldDownTable::expire checks.
   hold_down_.arm(uid, platform_.now() + maintenance_.hold_down, removed_hop);
-  platform_.schedule(maintenance_.hold_down, [this, uid] {
+  schedule_owned(maintenance_.hold_down, [this, uid] {
     if (!hold_down_.expire(uid, platform_.now())) return;
     platform_.broadcast(wire::Frame::probe(uid));
     ++maintenance_stats_.probes_sent;

@@ -8,6 +8,7 @@
 // simulator binding).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/clock.h"
@@ -24,6 +25,12 @@ class FrameCodec;
 
 class Platform {
  public:
+  /// Handle to a scheduled action, usable with cancel().  kInvalidTimer
+  /// is never returned by schedule(), so callers can use it as "no timer
+  /// pending".
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
   virtual ~Platform() = default;
 
   /// Sends `payload` to every current one-hop neighbour (broadcast
@@ -40,8 +47,16 @@ class Platform {
   /// Current local time.
   [[nodiscard]] virtual SimTime now() const = 0;
 
-  /// Runs `action` after `delay`.
-  virtual void schedule(SimTime delay, std::function<void()> action) = 0;
+  /// Runs `action` after `delay` (never synchronously, even for a zero
+  /// delay).  The returned handle cancels the action while it is still
+  /// pending — components with recurring timers (discovery beacons,
+  /// hold-down expiries) cancel them on shutdown instead of firing into
+  /// a destroyed owner.
+  virtual TimerId schedule(SimTime delay, std::function<void()> action) = 0;
+
+  /// Cancels a pending action; no-op when it already fired or was
+  /// cancelled.
+  virtual void cancel(TimerId id) = 0;
 
   /// Location sensor reading (GPS / Wi-Fi triangulation stand-in).
   [[nodiscard]] virtual Vec2 position() const = 0;

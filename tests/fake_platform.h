@@ -2,6 +2,7 @@
 // scheduled actions on demand, and lets tests control time and position.
 #pragma once
 
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -12,15 +13,24 @@ namespace tota::testing {
 
 class FakePlatform final : public Platform {
  public:
+  struct ScheduledAction {
+    TimerId id;
+    SimTime when;
+    std::function<void()> action;
+  };
+
   void broadcast(wire::Bytes payload) override {
     broadcasts.push_back(std::move(payload));
   }
 
   [[nodiscard]] SimTime now() const override { return time; }
 
-  void schedule(SimTime delay, std::function<void()> action) override {
-    scheduled.emplace_back(time + delay, std::move(action));
+  TimerId schedule(SimTime delay, std::function<void()> action) override {
+    scheduled.push_back({next_timer_++, time + delay, std::move(action)});
+    return scheduled.back().id;
   }
+
+  void cancel(TimerId id) override { cancelled_.insert(id); }
 
   [[nodiscard]] Vec2 position() const override { return pos; }
 
@@ -30,14 +40,24 @@ class FakePlatform final : public Platform {
   /// left null, the engine uses its per-receiver span fallback.
   [[nodiscard]] wire::FrameCodec* frame_codec() override { return codec; }
 
-  /// Runs (and clears) every pending scheduled action.
+  /// Runs (and clears) every pending scheduled action in the order it
+  /// was scheduled.  Actions cancelled before their turn — including by
+  /// earlier actions of the same batch — are skipped.
   void run_scheduled() {
     auto pending = std::move(scheduled);
     scheduled.clear();
-    for (auto& [when, action] : pending) {
-      if (when > time) time = when;
-      action();
+    for (auto& entry : pending) {
+      if (cancelled_.erase(entry.id) > 0) continue;
+      if (entry.when > time) time = entry.when;
+      entry.action();
     }
+  }
+
+  /// Pending (non-cancelled) action count.
+  [[nodiscard]] std::size_t pending_scheduled() const {
+    std::size_t n = 0;
+    for (const auto& entry : scheduled) n += cancelled_.count(entry.id) == 0;
+    return n;
   }
 
   /// Pops the oldest captured broadcast.
@@ -48,13 +68,15 @@ class FakePlatform final : public Platform {
   }
 
   std::vector<wire::Bytes> broadcasts;
-  std::vector<std::pair<SimTime, std::function<void()>>> scheduled;
+  std::vector<ScheduledAction> scheduled;
   SimTime time;
   Vec2 pos;
   wire::FrameCodec* codec = nullptr;
 
  private:
   Rng rng_{12345};
+  TimerId next_timer_ = 1;
+  std::unordered_set<TimerId> cancelled_;
 };
 
 }  // namespace tota::testing

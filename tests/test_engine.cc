@@ -541,5 +541,35 @@ TEST_F(EngineTest, PassThroughProcessedOncePerNode) {
   EXPECT_EQ(platform_.broadcasts.size(), first_count);
 }
 
+TEST(EngineLifetimeTest, DestructorCancelsPendingTimers) {
+  // A destroyed engine must leave no timers behind on a platform that
+  // outlives it (a live event loop does; the simulator's aliveness token
+  // only guards the SimPlatform binding).  Provoke both timer kinds — a
+  // coalesced link-up re-propagation and a hold-down expiry — then tear
+  // the engine down with them pending.
+  tuples::register_standard_tuples();
+  FakePlatform platform;
+  {
+    TupleSpace space;
+    EventBus bus;
+    Engine engine{NodeId{1}, platform, space, bus};
+
+    GradientTuple remote("field");
+    remote.set_uid(TupleUid{NodeId{9}, 1});
+    remote.set_hop(2);
+    wire::Writer w;
+    w.u8(1);
+    remote.encode(w);
+    engine.on_datagram(NodeId{5}, w.take());
+    engine.on_neighbor_up(NodeId{5});
+    platform.run_scheduled();
+    engine.on_neighbor_down(NodeId{5});  // retraction arms the hold-down
+    engine.on_neighbor_up(NodeId{6});    // pending re-propagation round
+    ASSERT_GE(platform.pending_scheduled(), 2u);
+  }
+  EXPECT_EQ(platform.pending_scheduled(), 0u);
+  platform.run_scheduled();  // nothing fires into the destroyed engine
+}
+
 }  // namespace
 }  // namespace tota
