@@ -1,0 +1,168 @@
+// SCALE — churn-heavy macro benchmark of the indexed hot path.
+//
+// 2070 nodes in a 4-neighbour grid mesh carry four tuple types at once
+// (12 gradient fields, 8 adverts, 6 flock beacons, 4 scope-limited
+// floods), every node runs typed subscriptions, and a rotating subset of
+// nodes teleports out of the mesh and back (link flaps), driving the
+// self-maintenance machinery.  Interleaved typed read sweeps measure the
+// store's query latency at scale; space.*/bus.* counters quantify how
+// much work the type index and subscription buckets avoid.
+//
+// Writes BENCH_scale.json — the perf trajectory's scale datapoint
+// (docs/OBSERVABILITY.md).  The bench.scale.* gauges carry wall-clock
+// phase times, so unlike the fixed-seed scenario benches this file is
+// NOT expected to be bit-for-bit reproducible; the sim-side counters
+// (engine.*, space.*, bus.*, maint.*) still are.
+#include <chrono>
+#include <cstdio>
+
+#include "exp_common.h"
+
+using namespace tota;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 Clock::now() - start)
+                 .count()) /
+         1000.0;
+}
+
+}  // namespace
+
+int main() {
+  tuples::register_standard_tuples();
+  auto& hub = obs::default_hub();
+
+  exp::section("SCALE: 2k-node churn, many tuple types, link flaps");
+  emu::World world(exp::manet_options(/*seed=*/97, /*range_m=*/100.0));
+
+  // 46 x 45 grid at 80 m spacing: 2070 nodes, degree-4 mesh (diagonals
+  // at 113 m fall outside the 100 m range).
+  const auto t_spawn = Clock::now();
+  const auto nodes = world.spawn_grid(46, 45, 80.0);
+  world.run_for(SimTime::from_millis(500));
+  const double spawn_ms = ms_since(t_spawn);
+  std::printf("nodes=%zu spawn+settle=%.0fms\n", nodes.size(), spawn_ms);
+
+  // Typed subscriptions on every node: gradient arrivals on one half,
+  // advert arrivals on the other, so every flood exercises the
+  // subscription buckets on 2k buses.
+  std::uint64_t reactions = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Pattern p = i % 2 == 0
+                          ? Pattern::of_type(tuples::GradientTuple::kTag)
+                          : Pattern::of_type(tuples::AdvertTuple::kTag);
+    world.mw(nodes[i]).subscribe(
+        p, [&reactions](const Event&) { ++reactions; },
+        static_cast<int>(EventKind::kTupleArrived));
+  }
+
+  // Four tuple types, 30 structures total, sources spread over the grid.
+  const auto t_flood = Clock::now();
+  for (int i = 0; i < 12; ++i) {
+    world.mw(nodes[(i * 151) % nodes.size()])
+        .inject(std::make_unique<tuples::GradientTuple>(
+            "field" + std::to_string(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    world.mw(nodes[(i * 223 + 57) % nodes.size()])
+        .inject(std::make_unique<tuples::AdvertTuple>(
+            "sensor" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    world.mw(nodes[(i * 311 + 113) % nodes.size()])
+        .inject(std::make_unique<tuples::FlockTuple>(/*target_distance=*/3));
+  }
+  for (int i = 0; i < 4; ++i) {
+    world.mw(nodes[(i * 401 + 171) % nodes.size()])
+        .inject(std::make_unique<tuples::FloodTuple>(
+            "notice" + std::to_string(i), wire::Value{i}));
+  }
+  world.run_for(SimTime::from_seconds(5));
+  const double flood_ms = ms_since(t_flood);
+
+  const double grad_cov =
+      exp::coverage(world, Pattern::of_type(tuples::GradientTuple::kTag));
+  std::printf("flood=%.0fms gradient_coverage=%.3f reactions=%llu\n",
+              flood_ms, grad_cov,
+              static_cast<unsigned long long>(reactions));
+
+  // Typed read sweep: every node resolves one specific gradient field —
+  // the app-tick query pattern (cf. apps/*.cc peek loops).
+  const auto t_read = Clock::now();
+  std::size_t hits = 0;
+  constexpr int kSweeps = 8;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Pattern p =
+          Pattern::of_type(tuples::GradientTuple::kTag)
+              .eq("name", "field" + std::to_string((i + sweep) % 12));
+      if (world.mw(nodes[i]).read_one(p) != nullptr) ++hits;
+    }
+  }
+  const double read_ms = ms_since(t_read);
+  const double read_ns_per_op =
+      read_ms * 1e6 / (kSweeps * static_cast<double>(nodes.size()));
+  std::printf("read_sweep=%.0fms (%.0f ns/read_one, hit_rate=%.3f)\n",
+              read_ms, read_ns_per_op,
+              static_cast<double>(hits) /
+                  (kSweeps * static_cast<double>(nodes.size())));
+
+  // Link flaps: 10 rounds x 64 nodes teleport 50 km away and back —
+  // every hop severs ~4 links, cascading retraction/heal rounds through
+  // the 30 structures.
+  const auto t_churn = Clock::now();
+  constexpr int kRounds = 10;
+  constexpr std::size_t kFlappers = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::pair<NodeId, Vec2>> home;
+    for (std::size_t i = 0; i < kFlappers; ++i) {
+      const NodeId id = nodes[(i * 31 + round * 7 + 1) % nodes.size()];
+      home.emplace_back(id, world.net().topology().position(id));
+      world.net().move_node(id, Vec2{50000.0 + 200.0 * i, 50000.0});
+    }
+    world.run_for(SimTime::from_millis(400));
+    for (const auto& [id, pos] : home) world.net().move_node(id, pos);
+    world.run_for(SimTime::from_millis(400));
+  }
+  world.run_for(SimTime::from_seconds(2));
+  const double churn_ms = ms_since(t_churn);
+  const double grad_cov_after =
+      exp::coverage(world, Pattern::of_type(tuples::GradientTuple::kTag));
+  std::printf("churn=%.0fms (%d rounds x %zu flappers) coverage_after=%.3f\n",
+              churn_ms, kRounds, kFlappers, grad_cov_after);
+
+  // Index effectiveness: candidates examined vs what naive full scans
+  // would have examined, across every query of the run.
+  const auto candidates = hub.metrics.get("space.query.candidates");
+  const auto naive = hub.metrics.get("space.query.naive_candidates");
+  const double candidate_ratio =
+      naive > 0 ? static_cast<double>(candidates) / static_cast<double>(naive)
+                : 1.0;
+  const auto bus_candidates = hub.metrics.get("bus.dispatch.candidates");
+  const auto bus_fired = hub.metrics.get("bus.dispatch.fired");
+  std::printf(
+      "space candidate_ratio=%.4f (%lld/%lld) bus candidates/fired=%.2f\n",
+      candidate_ratio, static_cast<long long>(candidates),
+      static_cast<long long>(naive),
+      bus_fired > 0 ? static_cast<double>(bus_candidates) /
+                          static_cast<double>(bus_fired)
+                    : 0.0);
+
+  hub.metrics.gauge("bench.scale.nodes")
+      .set(static_cast<double>(nodes.size()));
+  hub.metrics.gauge("bench.scale.spawn_ms").set(spawn_ms);
+  hub.metrics.gauge("bench.scale.flood_ms").set(flood_ms);
+  hub.metrics.gauge("bench.scale.read_one_ns").set(read_ns_per_op);
+  hub.metrics.gauge("bench.scale.churn_ms").set(churn_ms);
+  hub.metrics.gauge("bench.scale.gradient_coverage").set(grad_cov_after);
+  hub.metrics.gauge("bench.scale.space_candidate_ratio").set(candidate_ratio);
+
+  exp::emit_json("scale");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json result fields against a committed baseline.
+
+The scenario benches run at fixed seeds, so every result field they emit
+(counters, gauges, histogram summaries, trace spans) is deterministic; an
+index/refactor PR must not change any of them.  New fields are allowed —
+instrumentation is additive — but every field present in the baseline
+must reappear with a bit-for-bit identical value.
+
+Usage:
+    scripts/check_bench_determinism.py BASELINE.json CURRENT.json [...]
+
+With 2k+ arguments, pairs them (baseline1 current1 baseline2 current2 …).
+Exits non-zero on the first pair with a changed or missing field.
+"""
+
+import json
+import sys
+
+
+def flatten(value, prefix=""):
+    """{'a': {'b': 1}, 'c': [2]} -> {'a.b': 1, 'c[0]': 2}"""
+    out = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            out.update(flatten(sub, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            out.update(flatten(sub, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = value
+    return out
+
+
+def compare(baseline_path, current_path):
+    with open(baseline_path) as f:
+        baseline = flatten(json.load(f))
+    with open(current_path) as f:
+        current = flatten(json.load(f))
+
+    missing = sorted(k for k in baseline if k not in current)
+    changed = sorted(
+        k for k in baseline if k in current and current[k] != baseline[k]
+    )
+    added = sorted(k for k in current if k not in baseline)
+
+    for k in missing:
+        print(f"MISSING  {k} (baseline: {baseline[k]!r})")
+    for k in changed:
+        print(f"CHANGED  {k}: {baseline[k]!r} -> {current[k]!r}")
+    ok = not missing and not changed
+    status = "OK" if ok else "FAIL"
+    print(
+        f"{status}  {current_path} vs {baseline_path}: "
+        f"{len(baseline)} baseline fields, {len(changed)} changed, "
+        f"{len(missing)} missing, {len(added)} additive"
+    )
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for i in range(0, len(argv), 2):
+        ok = compare(argv[i], argv[i + 1]) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

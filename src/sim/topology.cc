@@ -137,10 +137,24 @@ std::unordered_map<NodeId, int> Topology::hop_distances(NodeId from) const {
 }
 
 std::optional<int> Topology::hop_distance(NodeId from, NodeId to) const {
-  const auto dist = hop_distances(from);
-  const auto it = dist.find(to);
-  if (it == dist.end()) return std::nullopt;
-  return it->second;
+  if (!contains(from) || !contains(to)) return std::nullopt;
+  if (from == to) return 0;
+  // Same BFS as hop_distances, but stops as soon as `to` is labelled
+  // instead of exhausting the component.
+  std::unordered_map<NodeId, int> dist;
+  std::deque<NodeId> frontier{from};
+  dist[from] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : neighbors(cur)) {
+      if (dist.count(next)) continue;
+      dist[next] = dist[cur] + 1;
+      if (next == to) return dist[next];
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
 }
 
 bool Topology::connected() const {

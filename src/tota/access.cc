@@ -23,12 +23,14 @@ bool AccessGrant::permits(NodeId owner, NodeId requester) const {
     case AccessScope::kOwnerOnly:
       return requester == owner;
     case AccessScope::kList:
+      // `allowed` is sorted (see the field invariant in access.h).
       return requester == owner ||
-             std::find(allowed.begin(), allowed.end(), requester) !=
-                 allowed.end();
+             std::binary_search(allowed.begin(), allowed.end(), requester);
   }
   return false;
 }
+
+void AccessGrant::normalize() { std::sort(allowed.begin(), allowed.end()); }
 
 void AccessGrant::encode(wire::Writer& w) const {
   w.u8(static_cast<std::uint8_t>(scope));
@@ -48,6 +50,7 @@ AccessGrant AccessGrant::decode(wire::Reader& r) {
     if (n > 4096) throw wire::DecodeError("access list too large");
     g.allowed.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) g.allowed.push_back(NodeId{r.uvarint()});
+    g.normalize();
   }
   return g;
 }
@@ -62,6 +65,7 @@ AccessPolicy AccessPolicy::private_to_owner() {
 }
 
 AccessPolicy AccessPolicy::shared_with(std::vector<NodeId> readers) {
+  std::sort(readers.begin(), readers.end());
   AccessPolicy p;
   p.observe_ = AccessGrant{AccessScope::kList, readers};
   p.extract_ = AccessGrant{AccessScope::kList, std::move(readers)};
@@ -69,6 +73,7 @@ AccessPolicy AccessPolicy::shared_with(std::vector<NodeId> readers) {
 }
 
 AccessPolicy& AccessPolicy::set(AccessOp op, AccessGrant grant) {
+  grant.normalize();
   switch (op) {
     case AccessOp::kObserve:
       observe_ = std::move(grant);

@@ -51,9 +51,17 @@ enum class AccessScope : std::uint8_t {
 /// A per-operation grant.
 struct AccessGrant {
   AccessScope scope = AccessScope::kEveryone;
-  std::vector<NodeId> allowed;  // kList only
+  /// kList only.  Invariant: sorted ascending — permits() binary-searches
+  /// it.  decode() and every AccessPolicy entry point normalize(); code
+  /// aggregate-initializing a grant directly must pass a sorted list (or
+  /// call normalize()).  decode() caps the list at 4096 entries, so
+  /// normalize-on-decode is bounded work per frame.
+  std::vector<NodeId> allowed;
 
   [[nodiscard]] bool permits(NodeId owner, NodeId requester) const;
+
+  /// Restores the sorted-`allowed` invariant after manual construction.
+  void normalize();
 
   void encode(wire::Writer& w) const;
   static AccessGrant decode(wire::Reader& r);

@@ -6,6 +6,9 @@
 // the topology changes.  The engine composes four extracted units:
 //
 //   wire::Frame / FrameCodec  (wire/frame.h)        envelope + decode-once
+//   TupleSpace                (tuple_space.h)       indexed replica store
+//                                                   (type/parent/propagated
+//                                                   indexes, uid order)
 //   NeighborValueTable        (neighbor_table.h)    justification oracle
 //   HoldDownTable             (hold_down.h)         anti-count-to-infinity
 //   BoundedUidFifo            (bounded_uid_fifo.h)  pass-through filter,

@@ -29,43 +29,91 @@ PresenceTuple::PresenceTuple(NodeId neighbor, bool up) {
   content().set("event", up ? "up" : "down").set("node", neighbor);
 }
 
+BusMetrics::BusMetrics(obs::MetricsRegistry& registry)
+    : publish(registry.counter("bus.publish")),
+      candidates(registry.counter("bus.dispatch.candidates")),
+      fired(registry.counter("bus.dispatch.fired")),
+      skipped_dead(registry.counter("bus.dispatch.skipped_dead")) {}
+
+void EventBus::bind_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = std::make_unique<BusMetrics>(registry);
+}
+
+EventBus::BucketKey EventBus::key_of(const Subscription& sub) {
+  return BucketKey{sub.kind_filter, sub.pattern.type_tag().value_or("")};
+}
+
 SubscriptionId EventBus::subscribe(Pattern pattern, Reaction reaction,
                                    int kind_filter) {
   const SubscriptionId id = next_id_++;
-  subscriptions_.push_back(
-      {id, std::move(pattern), std::move(reaction), kind_filter});
+  const auto [it, inserted] = subscriptions_.emplace(
+      id, Subscription{id, std::move(pattern), std::move(reaction),
+                       kind_filter});
+  buckets_[key_of(it->second)].push_back(id);
+  live_.insert(id);
   return id;
 }
 
-void EventBus::unsubscribe(SubscriptionId id) {
-  std::erase_if(subscriptions_,
-                [id](const Subscription& s) { return s.id == id; });
+void EventBus::drop(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  const auto bucket = buckets_.find(key_of(it->second));
+  if (bucket != buckets_.end()) {
+    std::erase(bucket->second, id);
+    if (bucket->second.empty()) buckets_.erase(bucket);
+  }
+  live_.erase(id);
+  subscriptions_.erase(it);
 }
 
+void EventBus::unsubscribe(SubscriptionId id) { drop(id); }
+
 void EventBus::unsubscribe(const Pattern& pattern) {
-  std::erase_if(subscriptions_, [&pattern](const Subscription& s) {
-    return s.pattern.equivalent(pattern);
-  });
+  std::vector<SubscriptionId> doomed;
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.pattern.equivalent(pattern)) doomed.push_back(id);
+  }
+  for (const SubscriptionId id : doomed) drop(id);
+}
+
+void EventBus::collect(const BucketKey& key,
+                       std::vector<SubscriptionId>& out) const {
+  const auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  out.insert(out.end(), it->second.begin(), it->second.end());
 }
 
 void EventBus::publish(const Event& event) {
+  if (metrics_ != nullptr) metrics_->publish.inc();
+  // The four buckets this event can match; a subscription lives in
+  // exactly one bucket, so the union is duplicate-free.
+  const int kind = static_cast<int>(event.kind);
+  const std::string tag = event.tuple->type_tag();
+  std::vector<SubscriptionId> candidates;
+  collect(BucketKey{kind, tag}, candidates);
+  collect(BucketKey{kind, std::string{}}, candidates);
+  collect(BucketKey{kAnyKind, tag}, candidates);
+  collect(BucketKey{kAnyKind, std::string{}}, candidates);
+  // Dispatch order is subscription order == id order.
+  std::sort(candidates.begin(), candidates.end());
+
   // Snapshot ids + reactions so reentrant (un)subscription is safe.
   std::vector<std::pair<SubscriptionId, Reaction>> to_run;
-  for (const auto& sub : subscriptions_) {
-    if (sub.kind_filter != kAnyKind &&
-        sub.kind_filter != static_cast<int>(event.kind)) {
-      continue;
-    }
+  for (const SubscriptionId id : candidates) {
+    const Subscription& sub = subscriptions_.find(id)->second;
+    if (metrics_ != nullptr) metrics_->candidates.inc();
     if (sub.pattern.matches(*event.tuple)) {
-      to_run.emplace_back(sub.id, sub.reaction);
+      to_run.emplace_back(id, sub.reaction);
     }
   }
   for (auto& [id, reaction] : to_run) {
     // Skip reactions unsubscribed by an earlier reaction in this batch.
-    const bool still_live =
-        std::any_of(subscriptions_.begin(), subscriptions_.end(),
-                    [id](const Subscription& s) { return s.id == id; });
-    if (still_live) reaction(event);
+    if (!live_.contains(id)) {
+      if (metrics_ != nullptr) metrics_->skipped_dead.inc();
+      continue;
+    }
+    if (metrics_ != nullptr) metrics_->fired.inc();
+    reaction(event);
   }
 }
 

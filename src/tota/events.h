@@ -6,15 +6,28 @@
 // PresenceTuple, so one subscription mechanism (pattern + reaction)
 // covers everything.  The Java prototype names the reaction method by
 // string; the C++ analogue is a callback.
+//
+// Dispatch is indexed: subscriptions live in (kind_filter, pattern type
+// tag) buckets, so publish() examines only the four buckets an event can
+// match — (kind, tag), (kind, any), (any, tag), (any, any) — instead of
+// every subscription.  Reactions fire in subscription order (ids are
+// assigned monotonically), identical to the pre-index linear scan, and
+// reentrancy is handled by snapshotting the matched reactions and
+// checking a live-id set (O(1) per reaction) before each call.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "obs/metrics.h"
 #include "tota/pattern.h"
 #include "tota/tuple.h"
 
@@ -58,9 +71,29 @@ class PresenceTuple final : public Tuple {
 
 using SubscriptionId = std::uint64_t;
 
+/// The bus's observability handles (docs/OBSERVABILITY.md, `bus.*`).
+struct BusMetrics {
+  explicit BusMetrics(obs::MetricsRegistry& registry);
+
+  /// Events published.
+  obs::Counter& publish;
+  /// Subscriptions examined (pattern-match attempts) across publishes;
+  /// candidates/publish approaches the matching count as buckets help.
+  obs::Counter& candidates;
+  /// Reactions run.
+  obs::Counter& fired;
+  /// Snapshot entries skipped because an earlier reaction in the same
+  /// publish unsubscribed them.
+  obs::Counter& skipped_dead;
+};
+
 class EventBus {
  public:
   using Reaction = std::function<void(const Event&)>;
+
+  /// Registers the bus.* instruments on `registry` and records into them
+  /// from then on.  Optional: an unbound bus counts nothing.
+  void bind_metrics(obs::MetricsRegistry& registry);
 
   /// Registers `reaction` for events whose tuple matches `pattern`,
   /// optionally restricted to one event kind (kAnyKind = all).
@@ -76,7 +109,7 @@ class EventBus {
 
   /// Dispatches an event to all matching subscriptions.  Reactions may
   /// subscribe/unsubscribe/inject reentrantly; dispatch works on a
-  /// snapshot.
+  /// snapshot, and a reaction unsubscribed mid-publish never fires.
   void publish(const Event& event);
 
   [[nodiscard]] std::size_t subscription_count() const {
@@ -91,8 +124,39 @@ class EventBus {
     int kind_filter;
   };
 
-  std::vector<Subscription> subscriptions_;
+  /// Bucket key: the subscription's exact kind filter (kAnyKind for
+  /// unfiltered) and its pattern's type tag ("" for untyped patterns —
+  /// registered tuple tags are never empty).
+  struct BucketKey {
+    int kind;
+    std::string tag;
+    friend bool operator==(const BucketKey&, const BucketKey&) = default;
+  };
+  struct BucketKeyHash {
+    std::size_t operator()(const BucketKey& k) const {
+      return std::hash<std::string>{}(k.tag) ^
+             (std::hash<int>{}(k.kind) * 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  [[nodiscard]] static BucketKey key_of(const Subscription& sub);
+
+  /// Appends the ids of one bucket to `out`.
+  void collect(const BucketKey& key, std::vector<SubscriptionId>& out) const;
+
+  /// Removes `id` from the store, its bucket, and the live set.
+  void drop(SubscriptionId id);
+
+  /// Id-ordered store; iteration order == subscription order because ids
+  /// are assigned monotonically.
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  std::unordered_map<BucketKey, std::vector<SubscriptionId>, BucketKeyHash>
+      buckets_;
+  /// Ids currently subscribed — the O(1) liveness check publish() uses
+  /// instead of rescanning the store per fired reaction.
+  std::unordered_set<SubscriptionId> live_;
   SubscriptionId next_id_ = 1;
+  std::unique_ptr<BusMetrics> metrics_;
 };
 
 }  // namespace tota

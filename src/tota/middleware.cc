@@ -5,7 +5,13 @@ namespace tota {
 Middleware::Middleware(NodeId self, Platform& platform,
                        MaintenanceOptions maintenance, obs::Hub* hub)
     : platform_(platform),
-      engine_(self, platform, space_, bus_, maintenance, hub) {}
+      engine_(self, platform, space_, bus_, maintenance, hub) {
+  // The space/bus record their space.*/bus.* instruments next to the
+  // engine's, on the same hub.
+  obs::Hub& h = hub != nullptr ? *hub : obs::default_hub();
+  space_.bind_metrics(h.metrics);
+  bus_.bind_metrics(h.metrics);
+}
 
 TupleUid Middleware::inject(std::unique_ptr<Tuple> tuple) {
   return engine_.inject(std::move(tuple));
@@ -21,10 +27,11 @@ std::vector<std::unique_ptr<Tuple>> Middleware::read(
 }
 
 std::unique_ptr<Tuple> Middleware::read_one(const Pattern& pattern) const {
-  for (const Tuple* t : space_.peek(pattern)) {
-    if (t->permits(AccessOp::kObserve, self())) return t->clone();
-  }
-  return nullptr;
+  // Early-exits at the first observable match instead of materializing
+  // the full match set.
+  return space_.read_one(pattern, [this](const Tuple& t) {
+    return t.permits(AccessOp::kObserve, self());
+  });
 }
 
 std::vector<std::unique_ptr<Tuple>> Middleware::take(const Pattern& pattern) {

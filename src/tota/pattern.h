@@ -43,6 +43,12 @@ class Pattern {
   [[nodiscard]] bool matches_record(const std::string& tag,
                                     const wire::Record& content) const;
 
+  /// The type constraint, if any — what the TupleSpace type index and the
+  /// EventBus subscription buckets key on.
+  [[nodiscard]] const std::optional<std::string>& type_tag() const {
+    return type_;
+  }
+
   /// Structural equality used by `unsubscribe(template)`.  Two patterns
   /// are equivalent when their type constraint and exact/exists field
   /// constraints are equal; predicate constraints compare by identity

@@ -1,13 +1,49 @@
 #include "tota/tuple_space.h"
 
-#include <algorithm>
-
 namespace tota {
+
+SpaceMetrics::SpaceMetrics(obs::MetricsRegistry& registry)
+    : query_indexed(registry.counter("space.query.indexed")),
+      query_scan(registry.counter("space.query.scan")),
+      candidates(registry.counter("space.query.candidates")),
+      matches(registry.counter("space.query.matches")),
+      naive_candidates(registry.counter("space.query.naive_candidates")) {}
+
+void TupleSpace::bind_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = std::make_unique<SpaceMetrics>(registry);
+}
+
+void TupleSpace::index_entry(const TupleUid& uid, const Entry& entry) {
+  by_type_[entry.type_tag].emplace(uid, &entry);
+  by_parent_[entry.parent].insert(uid);
+  if (entry.propagated) propagated_.insert(uid);
+}
+
+void TupleSpace::unindex_entry(const TupleUid& uid, const Entry& entry) {
+  const auto type_it = by_type_.find(entry.type_tag);
+  if (type_it != by_type_.end()) {
+    type_it->second.erase(uid);
+    if (type_it->second.empty()) by_type_.erase(type_it);
+  }
+  const auto parent_it = by_parent_.find(entry.parent);
+  if (parent_it != by_parent_.end()) {
+    parent_it->second.erase(uid);
+    if (parent_it->second.empty()) by_parent_.erase(parent_it);
+  }
+  if (entry.propagated) propagated_.erase(uid);
+}
 
 void TupleSpace::put(std::unique_ptr<Tuple> tuple, NodeId parent,
                      bool propagated, SimTime now) {
   const TupleUid uid = tuple->uid();
-  entries_[uid] = Entry{std::move(tuple), parent, propagated, now};
+  std::string tag = tuple->type_tag();
+  const auto [it, inserted] = entries_.try_emplace(uid);
+  // Replacement may change the tag/parent/flag, so the old entry leaves
+  // the indexes before the new one enters.
+  if (!inserted) unindex_entry(uid, it->second);
+  it->second =
+      Entry{std::move(tuple), std::move(tag), parent, propagated, now};
+  index_entry(uid, it->second);
 }
 
 const TupleSpace::Entry* TupleSpace::find(const TupleUid& uid) const {
@@ -18,73 +54,109 @@ const TupleSpace::Entry* TupleSpace::find(const TupleUid& uid) const {
 std::unique_ptr<Tuple> TupleSpace::erase(const TupleUid& uid) {
   const auto it = entries_.find(uid);
   if (it == entries_.end()) return nullptr;
+  unindex_entry(uid, it->second);
   auto tuple = std::move(it->second.tuple);
   entries_.erase(it);
   return tuple;
 }
 
-std::vector<const TupleSpace::Entry*> TupleSpace::sorted_entries() const {
-  std::vector<const Entry*> out;
-  out.reserve(entries_.size());
-  for (const auto& [_, entry] : entries_) out.push_back(&entry);
-  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
-    return a->tuple->uid() < b->tuple->uid();
-  });
-  return out;
+template <typename Fn>
+void TupleSpace::match(const Pattern& pattern, Fn&& fn) const {
+  if (metrics_ != nullptr) {
+    metrics_->naive_candidates.inc(
+        static_cast<std::int64_t>(entries_.size()));
+  }
+  // Matching against the cached tag (matches_record) skips the virtual
+  // type_tag() string construction per candidate.
+  if (const auto& tag = pattern.type_tag(); tag.has_value()) {
+    if (metrics_ != nullptr) metrics_->query_indexed.inc();
+    const auto bucket = by_type_.find(*tag);
+    if (bucket == by_type_.end()) return;
+    for (const auto& [uid, entry] : bucket->second) {
+      if (metrics_ != nullptr) metrics_->candidates.inc();
+      if (!pattern.matches_record(entry->type_tag, entry->tuple->content())) {
+        continue;
+      }
+      if (metrics_ != nullptr) metrics_->matches.inc();
+      if (!fn(*entry)) return;
+    }
+    return;
+  }
+  if (metrics_ != nullptr) metrics_->query_scan.inc();
+  for (const auto& [uid, entry] : entries_) {
+    if (metrics_ != nullptr) metrics_->candidates.inc();
+    if (!pattern.matches_record(entry.type_tag, entry.tuple->content())) {
+      continue;
+    }
+    if (metrics_ != nullptr) metrics_->matches.inc();
+    if (!fn(entry)) return;
+  }
 }
 
 std::vector<std::unique_ptr<Tuple>> TupleSpace::read(
     const Pattern& pattern) const {
   std::vector<std::unique_ptr<Tuple>> out;
-  for (const Entry* entry : sorted_entries()) {
-    if (pattern.matches(*entry->tuple)) out.push_back(entry->tuple->clone());
-  }
+  match(pattern, [&out](const Entry& entry) {
+    out.push_back(entry.tuple->clone());
+    return true;
+  });
   return out;
 }
 
 std::unique_ptr<Tuple> TupleSpace::read_one(const Pattern& pattern) const {
-  for (const Entry* entry : sorted_entries()) {
-    if (pattern.matches(*entry->tuple)) return entry->tuple->clone();
-  }
-  return nullptr;
+  std::unique_ptr<Tuple> out;
+  match(pattern, [&out](const Entry& entry) {
+    out = entry.tuple->clone();
+    return false;  // first (lowest-uid) match wins
+  });
+  return out;
+}
+
+std::unique_ptr<Tuple> TupleSpace::read_one(
+    const Pattern& pattern,
+    const std::function<bool(const Tuple&)>& accept) const {
+  std::unique_ptr<Tuple> out;
+  match(pattern, [&out, &accept](const Entry& entry) {
+    if (!accept(*entry.tuple)) return true;  // keep looking
+    out = entry.tuple->clone();
+    return false;
+  });
+  return out;
 }
 
 std::vector<const Tuple*> TupleSpace::peek(const Pattern& pattern) const {
   std::vector<const Tuple*> out;
-  for (const Entry* entry : sorted_entries()) {
-    if (pattern.matches(*entry->tuple)) out.push_back(entry->tuple.get());
-  }
+  match(pattern, [&out](const Entry& entry) {
+    out.push_back(entry.tuple.get());
+    return true;
+  });
   return out;
 }
 
 std::vector<std::unique_ptr<Tuple>> TupleSpace::take(const Pattern& pattern) {
-  std::vector<std::unique_ptr<Tuple>> out;
   std::vector<TupleUid> uids;
-  for (const Entry* entry : sorted_entries()) {
-    if (pattern.matches(*entry->tuple)) uids.push_back(entry->tuple->uid());
-  }
+  match(pattern, [&uids](const Entry& entry) {
+    uids.push_back(entry.tuple->uid());
+    return true;
+  });
+  std::vector<std::unique_ptr<Tuple>> out;
+  out.reserve(uids.size());
   for (const auto& uid : uids) out.push_back(erase(uid));
   return out;
 }
 
 std::vector<TupleUid> TupleSpace::dependents_of(NodeId parent) const {
-  std::vector<TupleUid> out;
-  for (const Entry* entry : sorted_entries()) {
-    if (entry->parent == parent) out.push_back(entry->tuple->uid());
-  }
-  return out;
+  const auto it = by_parent_.find(parent);
+  if (it == by_parent_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 std::vector<TupleUid> TupleSpace::propagated_uids() const {
-  std::vector<TupleUid> out;
-  for (const Entry* entry : sorted_entries()) {
-    if (entry->propagated) out.push_back(entry->tuple->uid());
-  }
-  return out;
+  return {propagated_.begin(), propagated_.end()};
 }
 
 void TupleSpace::for_each(const std::function<void(const Entry&)>& fn) const {
-  for (const Entry* entry : sorted_entries()) fn(*entry);
+  for (const auto& [uid, entry] : entries_) fn(entry);
 }
 
 }  // namespace tota

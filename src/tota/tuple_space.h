@@ -5,23 +5,66 @@
 // received from (`parent` — the dependency link the self-maintenance
 // algorithm cascades along) and whether the replica is re-propagated to
 // newly-appearing neighbours.
+//
+// Storage is an *indexed store with maintained order*: the primary map is
+// uid-ordered (std::map), so every query iterates replicas in uid order
+// without a per-query sort, and three secondary indexes are kept coherent
+// under put/erase:
+//
+//   by_type_     type tag → uid-ordered candidates, so a typed pattern
+//                (Pattern::of_type) touches only replicas of that type;
+//   by_parent_   parent → children uids, so dependents_of is O(children);
+//   propagated_  uids flagged for link-up re-propagation, so
+//                propagated_uids is O(flagged).
+//
+// Invariants (asserted by the property tests in tests/test_tuple_space.cc):
+// every entry appears in exactly one by_type_ bucket (under its cached
+// type_tag), in exactly one by_parent_ set, and in propagated_ iff its
+// flag is set; indexed queries therefore return bit-for-bit the same
+// tuples, in the same uid order, as a naive full scan.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "obs/metrics.h"
 #include "tota/pattern.h"
 #include "tota/tuple.h"
 
 namespace tota {
 
+/// The tuple space's observability handles (docs/OBSERVABILITY.md,
+/// `space.*`), resolved once so queries never do a by-name lookup.
+struct SpaceMetrics {
+  explicit SpaceMetrics(obs::MetricsRegistry& registry);
+
+  /// Queries answered from the type-tag index (pattern had a type).
+  obs::Counter& query_indexed;
+  /// Queries that fell back to scanning the whole store (untyped pattern).
+  obs::Counter& query_scan;
+  /// Entries actually examined (pattern-match attempts) across queries.
+  obs::Counter& candidates;
+  /// Entries that matched.
+  obs::Counter& matches;
+  /// Entries a naive full scan would have examined (store size at query
+  /// time); candidates/naive_candidates is the index's candidate ratio.
+  obs::Counter& naive_candidates;
+};
+
 class TupleSpace {
  public:
   struct Entry {
     std::unique_ptr<Tuple> tuple;
+    /// tuple->type_tag(), cached at put() so queries and index
+    /// maintenance never re-derive it through the virtual call.
+    std::string type_tag;
     /// Neighbour this replica came from; invalid for locally-injected
     /// tuples (the source has no upstream dependency).
     NodeId parent;
@@ -30,6 +73,10 @@ class TupleSpace {
     bool propagated = false;
     SimTime stored_at;
   };
+
+  /// Registers the space.* instruments on `registry` and records into
+  /// them from then on.  Optional: an unbound space counts nothing.
+  void bind_metrics(obs::MetricsRegistry& registry);
 
   /// Stores or replaces the replica for tuple->uid().
   void put(std::unique_ptr<Tuple> tuple, NodeId parent, bool propagated,
@@ -45,8 +92,15 @@ class TupleSpace {
   [[nodiscard]] std::vector<std::unique_ptr<Tuple>> read(
       const Pattern& pattern) const;
 
-  /// First match, if any — the common single-tuple lookup.
+  /// First match, if any — the common single-tuple lookup.  Early-exits
+  /// on the first (lowest-uid) match.
   [[nodiscard]] std::unique_ptr<Tuple> read_one(const Pattern& pattern) const;
+
+  /// First match `accept` approves (e.g. an access-control check),
+  /// cloned; still early-exits at the first accepted match.
+  [[nodiscard]] std::unique_ptr<Tuple> read_one(
+      const Pattern& pattern,
+      const std::function<bool(const Tuple&)>& accept) const;
 
   /// Non-owning views of matches; valid only until the space next mutates.
   [[nodiscard]] std::vector<const Tuple*> peek(const Pattern& pattern) const;
@@ -55,10 +109,10 @@ class TupleSpace {
   std::vector<std::unique_ptr<Tuple>> take(const Pattern& pattern);
 
   /// Uids of replicas whose parent is `parent` (dependency children of a
-  /// lost link).
+  /// lost link).  O(children) via the parent index.
   [[nodiscard]] std::vector<TupleUid> dependents_of(NodeId parent) const;
 
-  /// Uids of replicas flagged for re-propagation.
+  /// Uids of replicas flagged for re-propagation.  O(flagged).
   [[nodiscard]] std::vector<TupleUid> propagated_uids() const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -68,9 +122,23 @@ class TupleSpace {
   void for_each(const std::function<void(const Entry&)>& fn) const;
 
  private:
-  [[nodiscard]] std::vector<const Entry*> sorted_entries() const;
+  /// Inserts/removes `entry` (stored under `uid`) into/from the three
+  /// secondary indexes.  Entry addresses are stable (std::map nodes), so
+  /// by_type_ holds raw pointers.
+  void index_entry(const TupleUid& uid, const Entry& entry);
+  void unindex_entry(const TupleUid& uid, const Entry& entry);
 
-  std::unordered_map<TupleUid, Entry> entries_;
+  /// Runs `fn(entry)` over pattern candidates in uid order — the type
+  /// bucket when the pattern is typed, the whole store otherwise — until
+  /// `fn` returns false.  Only matching entries reach `fn`.
+  template <typename Fn>
+  void match(const Pattern& pattern, Fn&& fn) const;
+
+  std::map<TupleUid, Entry> entries_;
+  std::unordered_map<std::string, std::map<TupleUid, const Entry*>> by_type_;
+  std::unordered_map<NodeId, std::set<TupleUid>> by_parent_;
+  std::set<TupleUid> propagated_;
+  std::unique_ptr<SpaceMetrics> metrics_;
 };
 
 }  // namespace tota

@@ -1,6 +1,8 @@
 // Unit tests for the EVENT INTERFACE (subscriptions, presence tuples).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "tota/events.h"
 #include "tuples/gradient_tuple.h"
 
@@ -101,6 +103,71 @@ TEST(EventBusTest, ReactionMayUnsubscribeAnother) {
   bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
   // The first reaction removed the second before it ran.
   EXPECT_EQ(second_fired, 0);
+}
+
+TEST(EventBusTest, ReactionMayUnsubscribeLaterMatchAcrossBuckets) {
+  // Regression for the bucketed dispatch: the first reaction lives in the
+  // untyped bucket, the victim in the gradient-tag bucket.  Both match the
+  // event, the victim has the higher id (fires later), and the mid-publish
+  // unsubscribe must still suppress it — liveness is checked per reaction
+  // at fire time, not at candidate-collection time.
+  EventBus bus;
+  int victim_fired = 0;
+  SubscriptionId victim = 0;
+  bus.subscribe(Pattern{}, [&](const Event&) { bus.unsubscribe(victim); });
+  victim = bus.subscribe(Pattern::of_type(GradientTuple::kTag),
+                         [&](const Event&) { ++victim_fired; });
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(victim_fired, 0);
+  EXPECT_EQ(bus.subscription_count(), 1u);
+
+  // And the inverse order: a typed reaction killing a later untyped one.
+  EventBus bus2;
+  int late_fired = 0;
+  SubscriptionId late = 0;
+  bus2.subscribe(Pattern::of_type(GradientTuple::kTag),
+                 [&](const Event&) { bus2.unsubscribe(late); });
+  late = bus2.subscribe(Pattern{}, [&](const Event&) { ++late_fired; });
+  bus2.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(late_fired, 0);
+}
+
+TEST(EventBusTest, TypedBucketsPreserveSubscriptionOrder) {
+  // Reactions fire in subscription order even when the candidates come
+  // from different (kind, tag) buckets.
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe(Pattern::of_type(GradientTuple::kTag),
+                [&](const Event&) { order.push_back(1); });
+  bus.subscribe(Pattern{}, [&](const Event&) { order.push_back(2); });
+  bus.subscribe(
+      Pattern::of_type(GradientTuple::kTag),
+      [&](const Event&) { order.push_back(3); },
+      static_cast<int>(EventKind::kTupleArrived));
+  bus.subscribe(
+      Pattern{}, [&](const Event&) { order.push_back(4); },
+      static_cast<int>(EventKind::kTupleArrived));
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventBusTest, BoundMetricsCountDispatch) {
+  obs::MetricsRegistry registry;
+  EventBus bus;
+  bus.bind_metrics(registry);
+  bus.subscribe(Pattern::of_type(GradientTuple::kTag),
+                [](const Event&) {});
+  const auto id = bus.subscribe(Pattern{}, [](const Event&) {});
+  bus.unsubscribe(id);
+
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(registry.get("bus.publish"), 1);
+  EXPECT_EQ(registry.get("bus.dispatch.candidates"), 1);
+  EXPECT_EQ(registry.get("bus.dispatch.fired"), 1);
+  EXPECT_EQ(registry.get("bus.dispatch.skipped_dead"), 0);
 }
 
 TEST(PresenceTupleTest, EncodesNeighborAndDirection) {

@@ -1,6 +1,9 @@
 // Unit tests for the local tuple space.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.h"
 #include "tota/tuple_space.h"
 #include "tuples/all.h"
 
@@ -147,6 +150,167 @@ TEST_F(TupleSpaceTest, ForEachVisitsInUidOrder) {
     origins.push_back(e.tuple->uid().origin().value());
   });
   EXPECT_EQ(origins, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(TupleSpaceTest, ReplaceMovesEntryBetweenIndexes) {
+  // Same uid stored as a propagated gradient under parent 2, then
+  // replaced by a non-propagated message under parent 3: every index
+  // must follow the replacement.
+  auto grad = make_tuple(NodeId{1}, 1, "a", 1);
+  space_.put(std::move(grad), NodeId{2}, true, SimTime::zero());
+
+  auto msg = std::make_unique<tuples::MessageTuple>();
+  msg->set_uid(TupleUid{NodeId{1}, 1});
+  space_.put(std::move(msg), NodeId{3}, false, SimTime::zero());
+
+  EXPECT_TRUE(space_.peek(Pattern::of_type(GradientTuple::kTag)).empty());
+  ASSERT_EQ(space_.peek(Pattern::of_type(tuples::MessageTuple::kTag)).size(),
+            1u);
+  EXPECT_TRUE(space_.dependents_of(NodeId{2}).empty());
+  EXPECT_EQ(space_.dependents_of(NodeId{3}).size(), 1u);
+  EXPECT_TRUE(space_.propagated_uids().empty());
+}
+
+TEST_F(TupleSpaceTest, ReadOneWithFilterSkipsRejectedMatches) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  const auto hit = space_.read_one(Pattern{}, [](const Tuple& t) {
+    return t.uid().origin() == NodeId{2};
+  });
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->uid().origin(), NodeId{2});
+  EXPECT_EQ(space_.read_one(Pattern{}, [](const Tuple&) { return false; }),
+            nullptr);
+}
+
+TEST_F(TupleSpaceTest, BoundMetricsCountIndexedAndScanQueries) {
+  obs::MetricsRegistry registry;
+  space_.bind_metrics(registry);
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 0), NodeId{}, true,
+             SimTime::zero());
+
+  (void)space_.peek(Pattern::of_type(GradientTuple::kTag));
+  EXPECT_EQ(registry.get("space.query.indexed"), 1);
+  EXPECT_EQ(registry.get("space.query.candidates"), 2);
+  EXPECT_EQ(registry.get("space.query.matches"), 2);
+
+  Pattern untyped;
+  untyped.eq("name", "a");
+  (void)space_.peek(untyped);
+  EXPECT_EQ(registry.get("space.query.scan"), 1);
+  EXPECT_EQ(registry.get("space.query.candidates"), 4);
+  EXPECT_EQ(registry.get("space.query.matches"), 3);
+  EXPECT_EQ(registry.get("space.query.naive_candidates"), 4);
+
+  // A typed query for an absent tag touches zero candidates.
+  (void)space_.peek(Pattern::of_type(tuples::MessageTuple::kTag));
+  EXPECT_EQ(registry.get("space.query.indexed"), 2);
+  EXPECT_EQ(registry.get("space.query.candidates"), 4);
+}
+
+// Property: every indexed query returns bit-for-bit what a naive
+// full-scan over a reference model returns, across a random churn of
+// puts, replaces, and erases.  Seeded, so failures reproduce.
+TEST(TupleSpacePropertyTest, IndexedQueriesEqualNaiveFullScan) {
+  tuples::register_standard_tuples();
+
+  struct Replica {
+    TupleUid uid;
+    std::string tag;
+    std::string name;
+    NodeId parent;
+    bool propagated;
+  };
+
+  Rng rng(20260807);
+  TupleSpace space;
+  std::vector<Replica> model;  // unsorted reference
+
+  const auto model_find = [&model](const TupleUid& uid) {
+    return std::find_if(model.begin(), model.end(),
+                        [&uid](const Replica& r) { return r.uid == uid; });
+  };
+  const auto sorted_model = [&model] {
+    auto copy = model;
+    std::sort(copy.begin(), copy.end(),
+              [](const Replica& a, const Replica& b) { return a.uid < b.uid; });
+    return copy;
+  };
+
+  const std::vector<std::string> names{"a", "b", "c", "d"};
+  for (int step = 0; step < 2000; ++step) {
+    const TupleUid uid{NodeId{rng.below(40) + 1}, rng.below(4) + 1};
+    const auto op = rng.below(10);
+    if (op < 6) {  // put (or replace)
+      const std::string& name = names[rng.below(names.size())];
+      const bool gradient = rng.below(4) != 0;
+      const NodeId parent{rng.below(5)};  // 0 = invalid/local
+      const bool propagated = rng.below(2) == 0;
+      std::unique_ptr<Tuple> t;
+      if (gradient) {
+        t = std::make_unique<GradientTuple>(name);
+      } else {
+        t = std::make_unique<tuples::MessageTuple>();
+        t->content().set("name", name);
+      }
+      t->set_uid(uid);
+      const std::string tag = t->type_tag();
+      space.put(std::move(t), parent, propagated, SimTime::zero());
+      if (auto it = model_find(uid); it != model.end()) model.erase(it);
+      model.push_back({uid, tag, name, parent, propagated});
+    } else if (op < 8) {  // erase
+      space.erase(uid);
+      if (auto it = model_find(uid); it != model.end()) model.erase(it);
+    } else {  // query and compare against the naive scan
+      Pattern p;
+      if (rng.below(2) == 0) {
+        p.type(rng.below(2) == 0 ? GradientTuple::kTag
+                                 : tuples::MessageTuple::kTag);
+      }
+      if (rng.below(2) == 0) {
+        p.eq("name", names[rng.below(names.size())]);
+      }
+      const auto got = space.peek(p);
+      std::vector<TupleUid> got_uids;
+      got_uids.reserve(got.size());
+      for (const Tuple* t : got) got_uids.push_back(t->uid());
+
+      std::vector<TupleUid> want_uids;
+      for (const Replica& r : sorted_model()) {
+        const bool type_ok = !p.type_tag() || *p.type_tag() == r.tag;
+        const auto* entry = space.find(r.uid);
+        ASSERT_NE(entry, nullptr);
+        if (type_ok && p.matches(*entry->tuple)) want_uids.push_back(r.uid);
+      }
+      ASSERT_EQ(got_uids, want_uids) << "step " << step;
+
+      const auto one = space.read_one(p);
+      if (want_uids.empty()) {
+        EXPECT_EQ(one, nullptr) << "step " << step;
+      } else {
+        ASSERT_NE(one, nullptr) << "step " << step;
+        EXPECT_EQ(one->uid(), want_uids.front()) << "step " << step;
+      }
+    }
+  }
+
+  // Secondary indexes agree with the model at the end of the churn.
+  for (std::uint64_t parent = 0; parent < 5; ++parent) {
+    std::vector<TupleUid> want;
+    for (const Replica& r : sorted_model()) {
+      if (r.parent == NodeId{parent}) want.push_back(r.uid);
+    }
+    EXPECT_EQ(space.dependents_of(NodeId{parent}), want);
+  }
+  std::vector<TupleUid> want_propagated;
+  for (const Replica& r : sorted_model()) {
+    if (r.propagated) want_propagated.push_back(r.uid);
+  }
+  EXPECT_EQ(space.propagated_uids(), want_propagated);
 }
 
 }  // namespace
