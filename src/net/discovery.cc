@@ -16,6 +16,9 @@ Discovery::Discovery(NodeId self, tota::Platform& platform,
       send_(std::move(send)),
       hello_tx_(metrics.counter("net.hello.tx")),
       hello_rx_(metrics.counter("net.hello.rx")),
+      hello_stale_(metrics.counter("net.hello.stale")),
+      hello_restart_(metrics.counter("net.hello.restart")),
+      hello_clamped_(metrics.counter("net.hello.clamped")),
       neighbor_up_(metrics.counter("net.neighbor.up")),
       neighbor_down_(metrics.counter("net.neighbor.down")),
       neighbors_gauge_(metrics.gauge("net.neighbors")) {}
@@ -70,13 +73,42 @@ void Discovery::on_hello(NodeId from, std::uint64_t seq, SimTime period) {
   if (!running_ || from == self_ || !from.valid()) return;
   hello_rx_.inc();
 
+  // An advertised period is a claim by the peer; honour it only up to
+  // max_peer_period, or one hostile/corrupt HELLO advertising a huge
+  // period would pin this neighbour entry (and wedge the maintenance
+  // that its expiry drives) near-forever.
+  if (period > options_.max_peer_period) {
+    period = options_.max_peer_period;
+    hello_clamped_.inc();
+  }
+
   auto [it, fresh] = neighbors_.try_emplace(from);
   Neighbor& n = it->second;
+  bool restarted = false;
+  if (!fresh && seq <= n.last_seq) {
+    if (n.last_seq - seq <= options_.restart_seq_window) {
+      // A duplicated or reordered old beacon (trivially produced by UDP
+      // or the fault injector): it carries *stale* information and must
+      // not refresh the session or re-arm expiry.
+      hello_stale_.inc();
+      return;
+    }
+    // Deep regression: the peer restarted and is beaconing from zero
+    // again.  Tear the old session down and re-announce the neighbour so
+    // the layers above resync instead of silently continuing it.
+    hello_restart_.inc();
+    restarted = true;
+  }
+
   n.last_heard = platform_.now();
   n.last_seq = seq;
   arm_expiry(from, n, period);
-  if (!fresh) return;
+  if (!fresh && !restarted) return;
 
+  if (restarted) {
+    neighbor_down_.inc();
+    if (down_) down_(from);
+  }
   neighbor_up_.inc();
   neighbors_gauge_.set(static_cast<double>(neighbors_.size()));
   if (up_) up_(from);

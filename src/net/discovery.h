@@ -50,6 +50,18 @@ struct DiscoveryOptions {
   double beacon_jitter = 0.2;
   /// Consecutive missed HELLOs before a neighbour is declared gone (k).
   int expiry_missed_beacons = 3;
+  /// A HELLO whose seq falls behind the last accepted one by at most
+  /// this many is a reordered/duplicated stale beacon and is ignored
+  /// (net.hello.stale) — it must not refresh the neighbour with old
+  /// information.  A deeper regression means the peer restarted and is
+  /// beaconing from zero again: the old session is torn down and the
+  /// neighbour re-announced (net.hello.restart).
+  std::uint64_t restart_seq_window = 16;
+  /// Upper bound honoured for the peer-advertised beacon period: one
+  /// malformed or hostile HELLO advertising a huge period must not pin
+  /// its neighbour entry near-forever.  Clamped periods count
+  /// net.hello.clamped.
+  SimTime max_peer_period = SimTime::from_seconds(5);
 };
 
 class Discovery {
@@ -81,7 +93,11 @@ class Discovery {
   void stop();
 
   /// Feed one received (already decoded) HELLO.  Beacons from `self` are
-  /// ignored — a broadcast medium echoes one's own transmissions.
+  /// ignored — a broadcast medium echoes one's own transmissions.  A
+  /// known neighbour's HELLO is accepted only when its seq advances:
+  /// stale/reordered beacons are dropped without touching the session,
+  /// and a deep seq regression is treated as a peer restart (one down
+  /// then one up, like a flap — upper layers resync their state).
   void on_hello(NodeId from, std::uint64_t seq, SimTime period);
 
   /// Currently-present neighbours, unordered.
@@ -120,6 +136,9 @@ class Discovery {
 
   obs::Counter& hello_tx_;
   obs::Counter& hello_rx_;
+  obs::Counter& hello_stale_;
+  obs::Counter& hello_restart_;
+  obs::Counter& hello_clamped_;
   obs::Counter& neighbor_up_;
   obs::Counter& neighbor_down_;
   obs::Gauge& neighbors_gauge_;

@@ -45,7 +45,7 @@ void EventLoop::cancel(TimerId id) {
 void EventLoop::add_fd(int fd, Action on_readable) {
   if (fd < 0) throw std::invalid_argument("negative fd");
   if (on_readable == nullptr) throw std::invalid_argument("null fd callback");
-  fds_[fd] = std::move(on_readable);
+  fds_[fd] = FdEntry{std::move(on_readable), next_fd_generation_++};
 }
 
 void EventLoop::remove_fd(int fd) { fds_.erase(fd); }
@@ -93,20 +93,29 @@ void EventLoop::step(SimTime deadline) {
   }
 
   std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> generations;
   pfds.reserve(fds_.size());
-  for (const auto& [fd, _] : fds_) {
+  generations.reserve(fds_.size());
+  for (const auto& [fd, entry] : fds_) {
     pfds.push_back(pollfd{fd, POLLIN, 0});
+    generations.push_back(entry.generation);
   }
   const int n = ::poll(pfds.data(), pfds.size(),
                        static_cast<int>(std::min<std::int64_t>(
                            wait_ms < 0 ? 60'000 : wait_ms, 60'000)));
   if (n <= 0) return;  // timeout or EINTR; timers fire next iteration
 
-  for (const pollfd& p : pfds) {
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    const pollfd& p = pfds[i];
     if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-    // The callback may remove_fd (even its own); re-check liveness.
+    // The callback may remove_fd (even its own), and a removed fd number
+    // can be reused and re-added within this very round — the generation
+    // stamp distinguishes the registration these revents belong to from
+    // a fresh one that merely shares the number.
     const auto it = fds_.find(p.fd);
-    if (it != fds_.end()) it->second();
+    if (it != fds_.end() && it->second.generation == generations[i]) {
+      it->second.on_readable();
+    }
     if (stopped_) return;
   }
 }

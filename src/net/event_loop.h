@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,11 @@ class EventLoop {
 
   /// Invokes `on_readable` (from run()) whenever `fd` has data to read.
   /// The fd should be non-blocking; the callback must drain it.
+  /// Registrations carry a generation stamp: when a callback of the
+  /// current poll round does remove_fd(a) and a fresh socket reuses fd
+  /// number `a` and is re-added, the *old* socket's pending revents do
+  /// not leak into the new registration — its readiness is observed by
+  /// the next poll.
   void add_fd(int fd, Action on_readable);
   void remove_fd(int fd);
 
@@ -98,7 +104,17 @@ class EventLoop {
   TimerId next_timer_ = 1;
   std::uint64_t next_seq_ = 0;
 
-  std::unordered_map<int, Action> fds_;
+  struct FdEntry {
+    Action on_readable;
+    /// Registration generation: a kernel fd number is reused the moment
+    /// it is closed, so the number alone cannot identify a registration
+    /// across a remove_fd + add_fd within one poll round.
+    std::uint64_t generation;
+  };
+  /// Ordered map: poll registration and dispatch follow ascending fd
+  /// order, deterministically.
+  std::map<int, FdEntry> fds_;
+  std::uint64_t next_fd_generation_ = 1;
 };
 
 }  // namespace tota::net

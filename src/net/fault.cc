@@ -1,0 +1,136 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tota::net {
+
+bool FaultPlan::enabled() const {
+  return drop > 0.0 || duplicate > 0.0 ||
+         (reorder > 0.0 && reorder_window > 0) || truncate > 0.0 ||
+         corrupt > 0.0 || !partitions.empty();
+}
+
+bool FaultPlan::severs(SimTime now, NodeId a, NodeId b) const {
+  for (const Partition& p : partitions) {
+    if (now < p.start || now >= p.start + p.duration) continue;
+    if (p.group.empty()) return true;  // the whole path is cut
+    const bool a_in =
+        std::find(p.group.begin(), p.group.end(), a) != p.group.end();
+    const bool b_in =
+        std::find(p.group.begin(), p.group.end(), b) != p.group.end();
+    if (a_in != b_in) return true;  // endpoints on opposite sides
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, tota::Platform& platform,
+                             obs::MetricsRegistry& metrics)
+    : plan_(std::move(plan)),
+      platform_(platform),
+      rng_(platform.rng().fork()),
+      processed_(metrics.counter("net.fault.processed")),
+      delivered_(metrics.counter("net.fault.delivered")),
+      dropped_(metrics.counter("net.fault.drop")),
+      duplicated_(metrics.counter("net.fault.dup")),
+      reordered_(metrics.counter("net.fault.reorder")),
+      truncated_(metrics.counter("net.fault.truncate")),
+      corrupted_(metrics.counter("net.fault.corrupt")),
+      partition_dropped_(metrics.counter("net.fault.partition_drop")) {}
+
+FaultInjector::~FaultInjector() { platform_.cancel(hold_timer_); }
+
+void FaultInjector::deliver_now(const wire::Bytes& bytes,
+                                const Deliver& deliver, bool duplicate) {
+  delivered_.inc();
+  deliver(bytes);
+  if (duplicate) {
+    duplicated_.inc();
+    deliver(bytes);
+  }
+}
+
+template <typename Pred>
+void FaultInjector::release_if(Pred pred) {
+  // Two phases so a Deliver that re-enters process() sees a consistent
+  // hold queue: extract everything due first, then deliver.
+  std::vector<Held> due;
+  for (std::size_t i = 0; i < held_.size();) {
+    if (pred(held_[i])) {
+      due.push_back(std::move(held_[i]));
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (Held& h : due) deliver_now(h.bytes, h.deliver, h.duplicate);
+}
+
+void FaultInjector::arm_hold_timer() {
+  if (hold_timer_ != Platform::kInvalidTimer || held_.empty()) return;
+  SimTime earliest = held_.front().deadline;
+  for (const Held& h : held_) earliest = std::min(earliest, h.deadline);
+  const SimTime now = platform_.now();
+  const SimTime delay = earliest > now ? earliest - now : SimTime::zero();
+  hold_timer_ = platform_.schedule(delay, [this] {
+    hold_timer_ = Platform::kInvalidTimer;
+    on_hold_timer();
+  });
+}
+
+void FaultInjector::on_hold_timer() {
+  const SimTime now = platform_.now();
+  release_if([now](const Held& h) { return h.deadline <= now; });
+  arm_hold_timer();  // re-arm for whatever is still held
+}
+
+void FaultInjector::flush() {
+  platform_.cancel(hold_timer_);
+  hold_timer_ = Platform::kInvalidTimer;
+  release_if([](const Held&) { return true; });
+}
+
+void FaultInjector::process(std::span<const std::uint8_t> bytes,
+                            Deliver deliver, NodeId from, NodeId to) {
+  processed_.inc();
+  if (plan_.severs(platform_.now(), from, to)) {
+    partition_dropped_.inc();
+    return;
+  }
+  if (rng_.chance(plan_.drop)) {
+    dropped_.inc();
+    return;
+  }
+
+  wire::Bytes owned(bytes.begin(), bytes.end());
+  if (!owned.empty() && rng_.chance(plan_.corrupt)) {
+    const std::uint64_t bit = rng_.below(owned.size() * 8);
+    owned[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    corrupted_.inc();
+  }
+  if (!owned.empty() && rng_.chance(plan_.truncate)) {
+    owned.resize(rng_.below(owned.size()));  // may become empty
+    truncated_.inc();
+  }
+  const bool duplicate = rng_.chance(plan_.duplicate);
+
+  if (plan_.reorder_window > 0 && rng_.chance(plan_.reorder)) {
+    reordered_.inc();
+    held_.push_back(Held{
+        std::move(owned), std::move(deliver),
+        1 + static_cast<int>(
+                rng_.below(static_cast<std::uint64_t>(plan_.reorder_window))),
+        platform_.now() + plan_.reorder_max_hold, duplicate});
+    arm_hold_timer();
+    return;
+  }
+
+  deliver_now(owned, deliver, duplicate);
+  // This datagram overtook everything still held; release entries whose
+  // overtake budget it exhausted — they now arrive *after* it, which is
+  // the reordering.
+  for (Held& h : held_) --h.overtakes_left;
+  release_if([](const Held& h) { return h.overtakes_left <= 0; });
+}
+
+}  // namespace tota::net

@@ -44,9 +44,24 @@ void LivePlatform::attach(Middleware& middleware) {
 bool LivePlatform::start() {
   if (started_) return true;
   if (!transport_.open()) return false;
+  if (options_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(options_.fault, *this,
+                                             hub_.metrics);
+  }
   loop_.add_fd(transport_.fd(), [this] {
-    transport_.drain(
-        [this](std::span<const std::uint8_t> bytes) { handle_datagram(bytes); });
+    transport_.drain([this](std::span<const std::uint8_t> bytes) {
+      if (fault_ != nullptr) {
+        // Adversity between the socket and the decoder.  Endpoints: the
+        // sender is unknown before decoding, the receiver is this node —
+        // a partition whose group contains us severs our whole rx path.
+        fault_->process(
+            bytes,
+            [this](const wire::Bytes& damaged) { handle_datagram(damaged); },
+            NodeId{}, options_.id);
+      } else {
+        handle_datagram(bytes);
+      }
+    });
   });
   discovery_.start();
   started_ = true;
@@ -59,6 +74,7 @@ void LivePlatform::stop() {
   discovery_.stop();
   loop_.remove_fd(transport_.fd());
   transport_.close();
+  fault_.reset();  // held datagrams die with the node — in-flight loss
 }
 
 void LivePlatform::broadcast(wire::Bytes payload) {

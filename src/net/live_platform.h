@@ -25,9 +25,12 @@
 #include <span>
 #include <string>
 
+#include <memory>
+
 #include "common/geometry.h"
 #include "net/discovery.h"
 #include "net/event_loop.h"
+#include "net/fault.h"
 #include "net/udp_transport.h"
 #include "obs/hub.h"
 #include "tota/platform.h"
@@ -50,6 +53,10 @@ struct LiveOptions {
   /// Seed for the node-local Rng; 0 derives one from `id` so distinct
   /// nodes get distinct (but reproducible) jitter streams.
   std::uint64_t seed = 0;
+  /// Receive-path adversity (net::FaultInjector), applied between
+  /// UdpTransport::drain and datagram decoding.  Benign by default —
+  /// the drain path then bypasses the injector entirely.
+  FaultPlan fault;
 };
 
 class LivePlatform final : public tota::Platform {
@@ -98,6 +105,9 @@ class LivePlatform final : public tota::Platform {
   [[nodiscard]] Discovery& discovery() { return discovery_; }
   [[nodiscard]] UdpTransport& transport() { return transport_; }
   [[nodiscard]] obs::Hub& hub() { return hub_; }
+  /// The receive-path fault injector; nullptr when options.fault is
+  /// benign or the platform has not been started.
+  [[nodiscard]] FaultInjector* fault() { return fault_.get(); }
 
  private:
   /// Decodes and routes one received datagram; foreign/garbage datagrams
@@ -110,6 +120,10 @@ class LivePlatform final : public tota::Platform {
   Rng rng_;
   UdpTransport transport_;
   Discovery discovery_;
+  /// Built at start() when options_.fault.enabled(); wraps the drain →
+  /// handle_datagram path.  Destroyed at stop() — held (reordered)
+  /// datagrams of a stopping node are simply in-flight loss.
+  std::unique_ptr<FaultInjector> fault_;
   Middleware* middleware_ = nullptr;
   bool started_ = false;
 

@@ -31,6 +31,7 @@ UdpTransport::UdpTransport(UdpOptions options, obs::MetricsRegistry& metrics)
       rx_(metrics.counter("net.udp.rx")),
       rx_bytes_(metrics.counter("net.udp.rx_bytes")),
       send_err_(metrics.counter("net.udp.send_err")),
+      rx_err_(metrics.counter("net.udp.rx_err")),
       rx_trunc_(metrics.counter("net.udp.rx_trunc")) {}
 
 UdpTransport::~UdpTransport() { close(); }
@@ -52,6 +53,12 @@ bool UdpTransport::open() {
     error_ = "bad group address: " + options_.group;
     return false;
   }
+  // Resolve the destination once; send() reuses it for every datagram
+  // instead of re-running inet_pton per call.
+  dest_ = sockaddr_in{};
+  dest_.sin_family = AF_INET;
+  dest_.sin_port = htons(options_.port);
+  dest_.sin_addr = group;
 
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) return fail("socket");
@@ -135,16 +142,9 @@ bool UdpTransport::send(std::span<const std::uint8_t> datagram) {
     send_err_.inc();
     return false;
   }
-  sockaddr_in dest{};
-  dest.sin_family = AF_INET;
-  dest.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.group.c_str(), &dest.sin_addr) != 1) {
-    send_err_.inc();
-    return false;
-  }
   const ssize_t n =
       ::sendto(fd_, datagram.data(), datagram.size(), 0,
-               reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+               reinterpret_cast<sockaddr*>(&dest_), sizeof(dest_));
   if (n != static_cast<ssize_t>(datagram.size())) {
     // EAGAIN (full send buffer) and friends: the datagram is dropped, as
     // on any lossy broadcast medium.  Counted, not thrown.
@@ -164,7 +164,18 @@ std::size_t UdpTransport::drain(
   std::size_t delivered = 0;
   for (;;) {
     const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), MSG_TRUNC);
-    if (n < 0) break;  // EAGAIN: queue drained (or transient error)
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted mid-drain: retry
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // A real receive error, not a cleanly drained queue: record it
+        // instead of masking it as EAGAIN.  The socket stays open —
+        // transient errors (e.g. ENOBUFS) heal; persistent ones keep
+        // counting and stay visible in error().
+        rx_err_.inc();
+        error_ = std::string("recv: ") + ::strerror(errno);
+      }
+      break;
+    }
     if (static_cast<std::size_t>(n) > buffer.size()) {
       rx_trunc_.inc();  // kernel truncated an oversized datagram
       continue;

@@ -22,8 +22,10 @@
 // lossy medium is weather, not a bug.
 //
 // Metrics (docs/NET.md): net.udp.tx, net.udp.tx_bytes, net.udp.rx,
-// net.udp.rx_bytes, net.udp.send_err, net.udp.rx_trunc.
+// net.udp.rx_bytes, net.udp.send_err, net.udp.rx_err, net.udp.rx_trunc.
 #pragma once
+
+#include <netinet/in.h>
 
 #include <cstdint>
 #include <functional>
@@ -76,7 +78,10 @@ class UdpTransport {
 
   /// Reads every datagram currently queued on the socket, invoking
   /// `sink` for each; returns how many were delivered.  Call from the
-  /// loop's readability callback.
+  /// loop's readability callback.  A cleanly drained queue
+  /// (EAGAIN/EWOULDBLOCK) ends the loop silently; a real receive error
+  /// also ends it but is counted (net.udp.rx_err) and recorded in
+  /// error().
   std::size_t drain(
       const std::function<void(std::span<const std::uint8_t>)>& sink);
 
@@ -87,12 +92,16 @@ class UdpTransport {
 
   UdpOptions options_;
   int fd_ = -1;
+  /// Destination resolved once at open(); send() reuses it instead of
+  /// re-running inet_pton per datagram.
+  sockaddr_in dest_{};
   std::string error_;
   obs::Counter& tx_;
   obs::Counter& tx_bytes_;
   obs::Counter& rx_;
   obs::Counter& rx_bytes_;
   obs::Counter& send_err_;
+  obs::Counter& rx_err_;
   obs::Counter& rx_trunc_;
 };
 

@@ -7,6 +7,32 @@
 
 namespace tota::sim {
 
+namespace {
+
+/// The minimal Platform the channel's FaultInjector needs: the event
+/// queue's clock and timers plus a forked Rng.  It represents the medium
+/// itself, not a node, so broadcast/position are inert.
+class ChannelPlatform final : public tota::Platform {
+ public:
+  ChannelPlatform(EventQueue& events, Rng rng)
+      : events_(events), rng_(rng) {}
+
+  void broadcast(wire::Bytes) override {}
+  [[nodiscard]] SimTime now() const override { return events_.now(); }
+  TimerId schedule(SimTime delay, std::function<void()> action) override {
+    return events_.schedule_after(delay, std::move(action));
+  }
+  void cancel(TimerId id) override { events_.cancel(id); }
+  [[nodiscard]] Vec2 position() const override { return {}; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+ private:
+  EventQueue& events_;
+  Rng rng_;
+};
+
+}  // namespace
+
 Network::Network(NetworkParams params, obs::Hub* hub)
     : params_(params),
       owned_hub_(hub != nullptr ? nullptr : std::make_unique<obs::Hub>()),
@@ -22,7 +48,17 @@ Network::Network(NetworkParams params, obs::Hub* hub)
       radio_lost_(hub_.metrics.counter("radio.lost")),
       link_up_(hub_.metrics.counter("link.up")),
       link_down_(hub_.metrics.counter("link.down")),
-      frame_codec_(hub_.metrics) {}
+      frame_codec_(hub_.metrics) {
+  if (params_.fault.enabled()) {
+    // The fork below is the only extra Rng draw a faulted configuration
+    // makes from the network stream; a benign plan leaves the stream —
+    // and therefore every committed bench baseline — untouched.
+    fault_platform_ = std::make_unique<ChannelPlatform>(events_, rng_.fork());
+    fault_ = std::make_unique<net::FaultInjector>(params_.fault,
+                                                 *fault_platform_,
+                                                 hub_.metrics);
+  }
+}
 
 NodeId Network::add_node(Vec2 position,
                          std::unique_ptr<MobilityModel> mobility) {
@@ -104,13 +140,36 @@ void Network::broadcast(NodeId from, wire::Bytes payload) {
       continue;
     }
     const SimTime delay = radio_.delay(rng_, shared->size());
-    events_.schedule_after(delay, [this, from, to, shared] {
-      const auto it = nodes_.find(to);
-      if (it == nodes_.end() || it->second.host == nullptr) return;
-      radio_rx_.inc();
-      it->second.host->on_datagram(from, shared);
-    });
+    if (fault_ != nullptr) {
+      // Adversity layer between the radio model and the receiver: the
+      // injector may drop/hold/damage this delivery.  Damaged or
+      // reordered copies get their own buffer (no decode-once sharing —
+      // each surviving receiver parses what *it* received).
+      fault_->process(
+          std::span(*shared),
+          [this, from, to, delay](const wire::Bytes& bytes) {
+            deliver_after(delay, from, to,
+                          std::make_shared<const wire::Bytes>(bytes));
+          },
+          from, to);
+    } else {
+      deliver_after(delay, from, to, shared);
+    }
   }
+}
+
+void Network::deliver_after(SimTime delay, NodeId from, NodeId to,
+                            std::shared_ptr<const wire::Bytes> payload) {
+  events_.schedule_after(delay,
+                         [this, from, to, payload = std::move(payload)] {
+                           const auto it = nodes_.find(to);
+                           if (it == nodes_.end() ||
+                               it->second.host == nullptr) {
+                             return;
+                           }
+                           radio_rx_.inc();
+                           it->second.host->on_datagram(from, payload);
+                         });
 }
 
 void Network::run_until(SimTime deadline) { events_.run_until(deadline); }

@@ -15,6 +15,7 @@
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/fault.h"
 #include "obs/hub.h"
 #include "sim/event_queue.h"
 #include "sim/mobility.h"
@@ -40,6 +41,13 @@ struct NetworkParams {
   /// Mobility integration period.
   SimTime mobility_tick = SimTime::from_millis(100);
   std::uint64_t seed = 1;
+  /// Adversity layer (net::FaultInjector): drop/duplicate/reorder/
+  /// truncate/corrupt faults plus scheduled partitions, applied to every
+  /// delivery on top of the radio model.  This is the one knob for
+  /// injected adversity — `radio.loss_probability` stays the physical
+  /// layer's loss.  The default (benign) plan is bypassed entirely, so
+  /// behaviour and the Rng stream are bit-for-bit unchanged.
+  net::FaultPlan fault;
 };
 
 class Network {
@@ -146,6 +154,9 @@ class Network {
   void refresh_links();
   void notify_link(NodeId node, NodeId neighbor, bool up);
   void mobility_tick();
+  /// Schedules the host upcall for one (possibly fault-damaged) frame.
+  void deliver_after(SimTime delay, NodeId from, NodeId to,
+                     std::shared_ptr<const wire::Bytes> payload);
 
   NetworkParams params_;
   std::unique_ptr<obs::Hub> owned_hub_;  // set when constructed hub-less
@@ -165,6 +176,10 @@ class Network {
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t next_node_ = 1;
   bool mobility_scheduled_ = false;
+  /// Channel-level adversity; null when params_.fault is benign (the
+  /// common case — the hot path then never touches it).
+  std::unique_ptr<tota::Platform> fault_platform_;
+  std::unique_ptr<net::FaultInjector> fault_;
 };
 
 }  // namespace tota::sim

@@ -224,6 +224,62 @@ TEST_F(DiscoveryTest, StopCancelsTimersAndForgetsSilently) {
   EXPECT_TRUE(discovery_->neighbors().empty());
 }
 
+TEST_F(DiscoveryTest, StaleReorderedHelloDoesNotRefreshExpiry) {
+  discovery_->start();
+  hear(NodeId{2}, 10);
+  const std::size_t scheduled_before = platform_.scheduled.size();
+  // A reordered old beacon (UDP and the fault injector both produce
+  // these): it carries stale information and must not re-arm expiry.
+  hear(NodeId{2}, 8);
+  EXPECT_EQ(platform_.scheduled.size(), scheduled_before);
+  EXPECT_EQ(metrics_.get("net.hello.stale"), 1);
+  EXPECT_EQ(ups_.size(), 1u);
+  EXPECT_TRUE(downs_.empty());
+}
+
+TEST_F(DiscoveryTest, DuplicateHelloIsStale) {
+  discovery_->start();
+  hear(NodeId{2}, 5);
+  hear(NodeId{2}, 5);  // the medium duplicated the datagram
+  EXPECT_EQ(metrics_.get("net.hello.stale"), 1);
+  EXPECT_EQ(ups_.size(), 1u);
+  EXPECT_TRUE(discovery_->knows(NodeId{2}));
+}
+
+TEST_F(DiscoveryTest, SeqRegressionBeyondWindowIsRestart) {
+  discovery_->start();
+  hear(NodeId{2}, 100);
+  // Far below the stale window: the peer rebooted and beacons from zero.
+  hear(NodeId{2}, 0);
+  EXPECT_EQ(metrics_.get("net.hello.restart"), 1);
+  EXPECT_EQ(metrics_.get("net.hello.stale"), 0);
+  EXPECT_EQ(downs_, std::vector<NodeId>{NodeId{2}});  // old session down
+  EXPECT_EQ(ups_.size(), 2u);                         // ...and re-announced
+  EXPECT_TRUE(discovery_->knows(NodeId{2}));
+}
+
+TEST_F(DiscoveryTest, RestartSessionContinuesAtNewSeq) {
+  discovery_->start();
+  hear(NodeId{2}, 100);
+  hear(NodeId{2}, 0);  // restart
+  hear(NodeId{2}, 1);  // the new session's next beacon is not stale
+  EXPECT_EQ(metrics_.get("net.hello.stale"), 0);
+  EXPECT_EQ(ups_.size(), 2u);
+  EXPECT_EQ(downs_.size(), 1u);
+}
+
+TEST_F(DiscoveryTest, AdvertisedPeriodIsClamped) {
+  discovery_->start();
+  // A hostile/corrupt HELLO advertising a one-hour beacon period must
+  // not pin the neighbour entry: the default max_peer_period (5s) caps
+  // the armed expiry at 5s * 3 missed * 1.2 jitter = 18s.
+  discovery_->on_hello(NodeId{2}, 0, SimTime::from_seconds(3600));
+  EXPECT_EQ(metrics_.get("net.hello.clamped"), 1);
+  ASSERT_FALSE(platform_.scheduled.empty());
+  EXPECT_EQ(platform_.scheduled.back().when,
+            platform_.time + SimTime::from_seconds(18));
+}
+
 TEST_F(DiscoveryTest, HellosCarryIncreasingSeqAndAdvertisedPeriod) {
   discovery_->start();
   platform_.run_scheduled();
@@ -297,6 +353,86 @@ TEST(EventLoop, StopsWhenNothingToWaitFor) {
   EventLoop loop;
   loop.run();  // no fds, no timers: must return, not hang
   SUCCEED();
+}
+
+TEST(EventLoop, ReusedFdNumberDoesNotInheritStaleReadiness) {
+  // Two pipes readable in the same poll round.  The first callback
+  // (dispatch is ascending-fd) removes and closes the second pipe, then
+  // opens a fresh one — POSIX hands back the lowest free descriptor, so
+  // the new pipe *reuses the removed fd number* — and registers it.  The
+  // old pipe's pending POLLIN must not be delivered to the new
+  // registration: nothing has ever been written to the new pipe.
+  int a[2], b[2];
+  ASSERT_EQ(::pipe(a), 0);
+  ASSERT_EQ(::pipe(b), 0);
+  ASSERT_LT(a[0], b[0]);
+
+  EventLoop loop;
+  int reused_fires = 0;
+  int c0 = -1, c1 = -1;
+  loop.add_fd(a[0], [&] {
+    char buf[8];
+    ASSERT_EQ(::read(a[0], buf, sizeof(buf)), 1);
+    loop.remove_fd(b[0]);
+    ::close(b[0]);
+    ::close(b[1]);
+    int c[2];
+    ASSERT_EQ(::pipe(c), 0);
+    c0 = c[0];
+    c1 = c[1];
+    ASSERT_EQ(c0, b[0]) << "lowest-free-fd reuse is POSIX-guaranteed";
+    loop.add_fd(c0, [&] {
+      char t[8];
+      (void)::read(c0, t, sizeof(t));
+      ++reused_fires;
+    });
+  });
+  loop.add_fd(b[0], [&] { FAIL() << "removed registration fired"; });
+
+  ASSERT_EQ(::write(a[1], "x", 1), 1);
+  ASSERT_EQ(::write(b[1], "y", 1), 1);
+  loop.run_for(SimTime::from_millis(30));
+  EXPECT_EQ(reused_fires, 0) << "stale revents leaked into the reused fd";
+
+  // The new registration is genuinely live once its own data arrives.
+  ASSERT_GT(c1, 0);
+  ASSERT_EQ(::write(c1, "z", 1), 1);
+  loop.run_for(SimTime::from_millis(30));
+  EXPECT_EQ(reused_fires, 1);
+
+  loop.remove_fd(a[0]);
+  loop.remove_fd(c0);
+  ::close(a[0]);
+  ::close(a[1]);
+  ::close(c0);
+  ::close(c1);
+}
+
+// --- udp transport error accounting ----------------------------------------
+
+TEST(UdpTransport, RealReceiveErrorIsCountedNotMasked) {
+  obs::MetricsRegistry metrics;
+  UdpOptions opts;
+  opts.mode = UdpOptions::Mode::kBroadcast;
+  opts.group = "127.255.255.255";
+  opts.port = static_cast<std::uint16_t>(40000 + ((::getpid() + 97) % 20000));
+  UdpTransport transport(opts, metrics);
+  if (!transport.open()) {
+    GTEST_SKIP() << "UDP unavailable here: " << transport.error();
+  }
+
+  // A cleanly drained empty queue (EAGAIN) is weather, not an error.
+  EXPECT_EQ(transport.drain([](std::span<const std::uint8_t>) {}), 0u);
+  EXPECT_EQ(metrics.get("net.udp.rx_err"), 0);
+  EXPECT_TRUE(transport.error().empty());
+
+  // Sabotage the descriptor behind the transport's back: recv now fails
+  // with a real error (EBADF), which must be counted and recorded
+  // instead of being silently treated as a drained queue.
+  ::close(transport.fd());
+  EXPECT_EQ(transport.drain([](std::span<const std::uint8_t>) {}), 0u);
+  EXPECT_EQ(metrics.get("net.udp.rx_err"), 1);
+  EXPECT_NE(transport.error().find("recv"), std::string::npos);
 }
 
 // --- two live nodes over loopback UDP -------------------------------------
