@@ -65,8 +65,10 @@ std::int64_t tx_cost(emu::World& world, Fn&& body) {
   return world.net().counters().get("radio.tx") - before;
 }
 
-/// Fraction of nodes holding a replica matching `p`.
-inline double coverage(const emu::World& world, const Pattern& p) {
+/// Fraction of nodes holding a replica matching `p`.  Works on any world
+/// with nodes() and a const mw() (emu::World, emu::ShardedWorld).
+template <typename WorldT>
+double coverage(const WorldT& world, const Pattern& p) {
   const auto nodes = world.nodes();
   if (nodes.empty()) return 0.0;
   int holders = 0;
@@ -78,7 +80,8 @@ inline double coverage(const emu::World& world, const Pattern& p) {
 
 /// Fraction of nodes whose gradient replica equals the BFS oracle
 /// (unreachable nodes count as correct when empty).
-inline double gradient_accuracy(const emu::World& world, NodeId source) {
+template <typename WorldT>
+double gradient_accuracy(const WorldT& world, NodeId source) {
   const auto oracle = world.net().topology().hop_distances(source);
   const Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
   int correct = 0;

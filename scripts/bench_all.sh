@@ -3,12 +3,32 @@
 # perf artefacts (docs/OBSERVABILITY.md) land in one directory — nothing
 # else runs the benches, so without this script the perf trajectory
 # stays empty.
-#
-# Usage: scripts/bench_all.sh [output-dir] [build-dir]
-#   output-dir  where BENCH_*.json + bench_*.log land (default:
-#               bench-results/)
-#   build-dir   CMake build tree to (re)use (default: build-bench/)
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+Usage: scripts/bench_all.sh [output-dir] [build-dir]
+
+  output-dir  where BENCH_*.json + bench_*.log land (default:
+              bench-results/)
+  build-dir   CMake build tree to (re)use (default: build-bench/)
+
+Environment (inherited by the bench binaries):
+  TOTA_BENCH_NODES    bench_scale population; rounded down to a square
+                      grid (default 50176 = 224 x 224)
+  TOTA_BENCH_THREADS  bench_scale shard/thread counts as a comma list;
+                      each entry runs the full scenario once and emits a
+                      bench.scale.t<N>.* gauge group (default "1,2,4,8")
+
+Example: a quick scaling check on a laptop
+  TOTA_BENCH_NODES=10000 TOTA_BENCH_THREADS=1,4 scripts/bench_all.sh
+EOF
+}
+
+case "${1:-}" in
+  -h|--help) usage; exit 0 ;;
+esac
+
 cd "$(dirname "$0")/.."
 
 OUT=${1:-bench-results}

@@ -8,13 +8,22 @@ instrumentation is additive — but every field present in the baseline
 must reappear with a bit-for-bit identical value.
 
 Usage:
-    scripts/check_bench_determinism.py BASELINE.json CURRENT.json [...]
+    scripts/check_bench_determinism.py [--ignore REGEX ...] \\
+        BASELINE.json CURRENT.json [...]
 
-With 2k+ arguments, pairs them (baseline1 current1 baseline2 current2 …).
-Exits non-zero on the first pair with a changed or missing field.
+With 2k+ positional arguments, pairs them (baseline1 current1 baseline2
+current2 …).  Exits non-zero on the first pair with a changed or missing
+field.
+
+--ignore REGEX (repeatable) drops flattened field names matching REGEX
+(re.search) from both sides before comparing.  Wall-clock gauges — the
+bench.scale.*_ms/_ns timings of the sharded scaling bench — are the
+intended use: everything else in those files is deterministic per
+(seed, shard_count) and stays under the bit-for-bit rule.
 """
 
 import json
+import re
 import sys
 
 
@@ -32,11 +41,22 @@ def flatten(value, prefix=""):
     return out
 
 
-def compare(baseline_path, current_path):
+def compare(baseline_path, current_path, ignore):
     with open(baseline_path) as f:
         baseline = flatten(json.load(f))
     with open(current_path) as f:
         current = flatten(json.load(f))
+    if ignore:
+        baseline = {
+            k: v
+            for k, v in baseline.items()
+            if not any(rx.search(k) for rx in ignore)
+        }
+        current = {
+            k: v
+            for k, v in current.items()
+            if not any(rx.search(k) for rx in ignore)
+        }
 
     missing = sorted(k for k in baseline if k not in current)
     changed = sorted(
@@ -59,12 +79,25 @@ def compare(baseline_path, current_path):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) % 2 != 0:
+    ignore = []
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--ignore":
+            if i + 1 >= len(argv):
+                print(__doc__, file=sys.stderr)
+                return 2
+            ignore.append(re.compile(argv[i + 1]))
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) < 2 or len(paths) % 2 != 0:
         print(__doc__, file=sys.stderr)
         return 2
     ok = True
-    for i in range(0, len(argv), 2):
-        ok = compare(argv[i], argv[i + 1]) and ok
+    for i in range(0, len(paths), 2):
+        ok = compare(paths[i], paths[i + 1], ignore) and ok
     return 0 if ok else 1
 
 

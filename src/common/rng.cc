@@ -93,4 +93,14 @@ double Rng::exponential(double mean) {
 
 Rng Rng::fork() { return Rng((*this)()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Two SplitMix64 rounds over (seed, stream): the first whitens the seed
+  // (so stream 0 is not Rng(seed) itself), the second folds the stream
+  // index in.  Pure function of its arguments — no generator state is
+  // consumed, so the streams of one family can be created in any order.
+  std::uint64_t sm = seed;
+  sm = splitmix64(sm) ^ stream;
+  return Rng(splitmix64(sm));
+}
+
 }  // namespace tota

@@ -55,6 +55,16 @@ class Rng {
   /// node its own stream while keeping a single experiment seed.
   Rng fork();
 
+  /// Derives the `stream`-th independent generator of the family rooted at
+  /// `seed` *without* consuming any generator state: stream(s, i) depends
+  /// only on (s, i).  This is how the sharded simulator splits one
+  /// experiment seed into per-shard streams — shard i's stream is the same
+  /// whether streams are created eagerly, lazily, or in any order, which
+  /// keeps runs deterministic per (seed, shard_count) (docs/SIM.md).
+  /// fork(), by contrast, advances the parent and therefore depends on
+  /// everything drawn before it.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;

@@ -1,0 +1,70 @@
+#include "emu/sharded_world.h"
+
+#include <stdexcept>
+
+#include "tuples/all.h"
+
+namespace tota::emu {
+
+ShardedWorld::ShardedWorld(Options options)
+    : options_(options), sim_(options.net) {
+  tuples::register_standard_tuples();
+}
+
+NodeId ShardedWorld::spawn(Vec2 position) {
+  const NodeId id = sim_.add_node(position);
+  pending_.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> ShardedWorld::spawn_grid(int rows, int cols,
+                                             double spacing, Vec2 origin) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ids.push_back(spawn({origin.x + spacing * static_cast<double>(c),
+                           origin.y + spacing * static_cast<double>(r)}));
+    }
+  }
+  return ids;
+}
+
+void ShardedWorld::seal() {
+  if (built_) return;
+  built_ = true;
+  // Partition first: each node's platform forks its owner shard's Rng
+  // stream, so ownership must exist before any stack is built.  Cells
+  // are built in node-id order — the fork order, and therefore every
+  // node's private stream, is deterministic per (seed, shard_count).
+  sim_.seal();
+  cells_.resize(pending_.size() + 1);
+  for (const NodeId id : pending_) {
+    NodeCell& cell = cells_[id.value()];
+    cell.platform = std::make_unique<ShardPlatform>(sim_, id);
+    cell.middleware = std::make_unique<Middleware>(
+        id, *cell.platform, options_.maintenance, &sim_.shard_hub(id));
+    cell.adapter = std::make_unique<HostAdapter>(*cell.middleware);
+    sim_.attach(id, cell.adapter.get());
+  }
+  pending_.clear();
+}
+
+Middleware& ShardedWorld::mw(NodeId id) {
+  seal();
+  if (id.value() == 0 || id.value() >= cells_.size() ||
+      cells_[id.value()].middleware == nullptr) {
+    throw std::invalid_argument("unknown node");
+  }
+  return *cells_[id.value()].middleware;
+}
+
+const Middleware& ShardedWorld::mw(NodeId id) const {
+  if (!built_ || id.value() == 0 || id.value() >= cells_.size() ||
+      cells_[id.value()].middleware == nullptr) {
+    throw std::invalid_argument("unknown node (or world not sealed)");
+  }
+  return *cells_[id.value()].middleware;
+}
+
+}  // namespace tota::emu

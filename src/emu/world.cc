@@ -2,37 +2,10 @@
 
 #include <stdexcept>
 
+#include "emu/host_adapter.h"
 #include "tuples/all.h"
 
 namespace tota::emu {
-
-namespace {
-
-/// Forwards the simulator's upcalls to the node's middleware.
-class HostAdapter final : public sim::Host {
- public:
-  explicit HostAdapter(Middleware& mw) : mw_(mw) {}
-
-  void on_datagram(NodeId from,
-                   std::span<const std::uint8_t> payload) override {
-    mw_.on_datagram(from, payload);
-  }
-  void on_datagram(NodeId from,
-                   std::shared_ptr<const wire::Bytes> payload) override {
-    mw_.on_datagram(from, std::move(payload));
-  }
-  void on_neighbor_up(NodeId neighbor) override {
-    mw_.on_neighbor_up(neighbor);
-  }
-  void on_neighbor_down(NodeId neighbor) override {
-    mw_.on_neighbor_down(neighbor);
-  }
-
- private:
-  Middleware& mw_;
-};
-
-}  // namespace
 
 World::World(Options options)
     : net_(options.net, options.hub != nullptr ? options.hub : &owned_hub_),

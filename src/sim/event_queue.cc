@@ -40,6 +40,16 @@ bool EventQueue::step() {
   return false;
 }
 
+std::optional<SimTime> EventQueue::next_event_time() {
+  while (!queue_.empty()) {
+    if (actions_.find(queue_.top().id) != actions_.end()) {
+      return queue_.top().when;
+    }
+    queue_.pop();  // cancelled — drop the stale entry
+  }
+  return std::nullopt;
+}
+
 void EventQueue::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Skip cancelled entries without advancing time.

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,13 @@ class EventQueue {
 
   /// Runs a single event if one is pending; returns false when empty.
   bool step();
+
+  /// Fire time of the earliest live event, or nullopt when empty.  The
+  /// sharded scheduler's epoch planner uses this to jump idle stretches
+  /// instead of stepping lookahead-sized windows through them.  Non-const
+  /// because it prunes cancelled entries off the top of the heap (no live
+  /// event is touched).
+  [[nodiscard]] std::optional<SimTime> next_event_time();
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::size_t pending() const { return live_count_; }

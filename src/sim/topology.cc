@@ -119,6 +119,22 @@ std::vector<NodeId> Topology::neighbors(NodeId id) const {
   return out;
 }
 
+Rect Topology::bounding_box() const {
+  if (positions_.empty()) {
+    throw std::logic_error("bounding_box() of an empty topology");
+  }
+  auto it = positions_.begin();
+  Rect box{it->second, it->second};
+  for (++it; it != positions_.end(); ++it) {
+    const Vec2 p = it->second;
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  }
+  return box;
+}
+
 std::unordered_map<NodeId, int> Topology::hop_distances(NodeId from) const {
   std::unordered_map<NodeId, int> dist;
   if (!contains(from)) return dist;

@@ -56,6 +56,11 @@ class Topology {
   /// Nodes within radio range of an arbitrary point.
   [[nodiscard]] std::vector<NodeId> in_range(Vec2 point) const;
 
+  /// Axis-aligned bounding box of all node positions (a zero-area Rect
+  /// for a single node).  Throws when the topology is empty.  The sharded
+  /// simulator partitions this box into per-shard strips (docs/SIM.md).
+  [[nodiscard]] Rect bounding_box() const;
+
   /// Oracle: minimum hop count from `from` to `to` over the disc graph;
   /// nullopt when disconnected.
   [[nodiscard]] std::optional<int> hop_distance(NodeId from, NodeId to) const;

@@ -86,6 +86,39 @@ TEST(RngTest, RangeInclusive) {
   EXPECT_EQ(seen.size(), 7u);  // all values hit
 }
 
+TEST(RngTest, StreamIsDeterministic) {
+  Rng a = Rng::stream(42, 3);
+  Rng b = Rng::stream(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  // Distinct streams of the same family never collide early, and a
+  // stream differs from the root generator it was derived from.
+  Rng root(42);
+  Rng s0 = Rng::stream(42, 0);
+  Rng s1 = Rng::stream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = root();
+    const auto y = s0();
+    const auto z = s1();
+    if (x == y || x == z || y == z) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, StreamDerivationIsPure) {
+  // stream() must not consume generator state: deriving stream k is the
+  // same whether or not other streams were derived first.  This is what
+  // makes per-shard streams independent of shard construction order.
+  Rng before = Rng::stream(7, 2);
+  (void)Rng::stream(7, 0);
+  (void)Rng::stream(7, 1);
+  Rng after = Rng::stream(7, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(before(), after());
+}
+
 TEST(RngTest, UniformInUnitInterval) {
   Rng rng(9);
   double sum = 0;

@@ -68,6 +68,21 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EXPECT_TRUE(late_fired);
 }
 
+TEST(EventQueueTest, NextEventTimePeeksWithoutRunning) {
+  EventQueue q;
+  EXPECT_FALSE(q.next_event_time().has_value());
+  q.schedule_at(SimTime{30}, [] {});
+  const EventId early = q.schedule_at(SimTime{10}, [] {});
+  ASSERT_TRUE(q.next_event_time().has_value());
+  EXPECT_EQ(*q.next_event_time(), SimTime{10});
+  // Cancelled tombstones at the top of the heap must be skipped.
+  q.cancel(early);
+  ASSERT_TRUE(q.next_event_time().has_value());
+  EXPECT_EQ(*q.next_event_time(), SimTime{30});
+  q.run_until(SimTime{100});
+  EXPECT_FALSE(q.next_event_time().has_value());
+}
+
 TEST(EventQueueTest, SchedulingInPastThrows) {
   EventQueue q;
   q.schedule_at(SimTime{10}, [] {});
