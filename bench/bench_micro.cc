@@ -155,6 +155,130 @@ void BM_TupleSpaceTyped(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleSpaceTyped)->Arg(16)->Arg(128)->Arg(1024);
 
+/// Populates `space` with a 1:7 mix of gradient and message tuples spread
+/// over 8 parents — the fixture for the query-plan benchmarks.
+void fill_mixed_space(TupleSpace& space, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::unique_ptr<Tuple> t;
+    if (i % 8 == 0) {
+      auto g = std::make_unique<tuples::GradientTuple>("structure");
+      g->content().set("source", NodeId{7});
+      t = std::move(g);
+    } else {
+      t = std::make_unique<tuples::MessageTuple>();
+    }
+    t->set_uid(TupleUid{NodeId{static_cast<std::uint64_t>(i + 1)}, 1});
+    t->content().set("hopcount", static_cast<int>(i % 10));
+    space.put(std::move(t), NodeId{static_cast<std::uint64_t>(i % 8)}, true,
+              SimTime::zero());
+  }
+}
+
+/// The pre-refactor shape of a filtered query: a full scan handing every
+/// entry to an opaque std::function, exactly what Pattern's old lambda
+/// where() clauses cost (no index, one indirect call per entry).
+void BM_QueryScanLambda(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  fill_mixed_space(space, state.range(0));
+  const std::function<bool(const Tuple&)> filter = [](const Tuple& t) {
+    return t.type_tag() == tuples::GradientTuple::kTag &&
+           t.content().has("hopcount") &&
+           t.content().at("hopcount").as_int() <= 4;
+  };
+  for (auto _ : state) {
+    std::vector<const Tuple*> out;
+    space.for_each([&](const TupleSpace::Entry& e) {
+      if (filter(*e.tuple)) out.push_back(e.tuple.get());
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_QueryScanLambda)->Arg(128)->Arg(1024);
+
+/// The same query as a typed predicate pattern: the planner routes it
+/// through the type bucket (1/8 of the store) and evaluates the AST
+/// residual only there.
+void BM_QueryPlanPredicate(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  fill_mixed_space(space, state.range(0));
+  Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+  p.where("hopcount", Pred::le(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.peek(p));
+  }
+}
+BENCHMARK(BM_QueryPlanPredicate)->Arg(128)->Arg(1024);
+
+/// Metadata-indexed plan: candidates come from one parent bucket.
+void BM_QueryPlanParent(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  fill_mixed_space(space, state.range(0));
+  Pattern p;
+  p.from_parent(NodeId{3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.peek(p));
+  }
+}
+BENCHMARK(BM_QueryPlanParent)->Arg(128)->Arg(1024);
+
+/// Maintaining a standing query incrementally: one put+erase churn cycle
+/// against a populated store, deltas flowing through the bus.
+void BM_ContinuousQueryDelta(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  EventBus bus;
+  fill_mixed_space(space, state.range(0));
+  space.set_listener([&](TupleSpace::ChangeKind kind,
+                         const TupleSpace::Entry& entry) {
+    auto change = EventBus::SpaceChange::kStored;
+    if (kind == TupleSpace::ChangeKind::kReplaced) {
+      change = EventBus::SpaceChange::kReplaced;
+    } else if (kind == TupleSpace::ChangeKind::kErased) {
+      change = EventBus::SpaceChange::kErased;
+    }
+    bus.notify_space(change, entry.type_tag, *entry.tuple, entry.parent,
+                     entry.propagated, SimTime::zero());
+  });
+  Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+  p.where("hopcount", Pred::le(4));
+  std::int64_t deltas = 0;
+  bus.subscribe_query(p, [&deltas](const QueryDelta&) { ++deltas; });
+  const TupleUid churn{NodeId{9999}, 1};
+  for (auto _ : state) {
+    auto g = std::make_unique<tuples::GradientTuple>("structure");
+    g->set_uid(churn);
+    g->content().set("source", NodeId{7}).set("hopcount", 2);
+    space.put(std::move(g), NodeId{1}, true, SimTime::zero());
+    space.erase(churn);
+    benchmark::DoNotOptimize(deltas);
+  }
+}
+BENCHMARK(BM_ContinuousQueryDelta)->Arg(128)->Arg(1024);
+
+/// The naive alternative a continuous query replaces: re-running the full
+/// query after every mutation.
+void BM_ContinuousQueryRescan(benchmark::State& state) {
+  tuples::register_standard_tuples();
+  TupleSpace space;
+  fill_mixed_space(space, state.range(0));
+  Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+  p.where("hopcount", Pred::le(4));
+  const TupleUid churn{NodeId{9999}, 1};
+  for (auto _ : state) {
+    auto g = std::make_unique<tuples::GradientTuple>("structure");
+    g->set_uid(churn);
+    g->content().set("source", NodeId{7}).set("hopcount", 2);
+    space.put(std::move(g), NodeId{1}, true, SimTime::zero());
+    benchmark::DoNotOptimize(space.peek(p));
+    space.erase(churn);
+    benchmark::DoNotOptimize(space.peek(p));
+  }
+}
+BENCHMARK(BM_ContinuousQueryRescan)->Arg(128)->Arg(1024);
+
 /// Publish through the subscription buckets: `subs` subscriptions split
 /// across 8 tuple-type patterns, one event matching 1/8 of them.
 void BM_EventDispatch(benchmark::State& state) {

@@ -16,9 +16,9 @@
 // Writes BENCH_scale.json.  The sim-side counters and the coverage /
 // reaction gauges are bit-for-bit reproducible for a fixed knob setting
 // (each world is deterministic per (seed, shard_count) — docs/SIM.md);
-// only the bench.scale.*_ms/_ns/nodes_per_sec/speedup wall-clock gauges
-// vary run to run, and scripts/check_bench_determinism.py --ignore's
-// them in CI.
+// only the bench.scale.*_ms/_ns/nodes_per_sec/speedup and
+// bench.query.*_ns wall-clock gauges vary run to run, and
+// scripts/check_bench_determinism.py --ignore's them in CI.
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -75,6 +75,15 @@ struct RunResult {
   double nodes_per_sec = 0;  // node-sim-seconds advanced per wall second
   double coverage = 0;
   double reactions = 0;
+  // Query-layer section (bench.query.*, docs/QUERY.md): continuous-query
+  // delta counts are deterministic per (seed, shards); pred_read_ns is
+  // wall clock.
+  double cq_queries = 0;
+  double cq_added = 0;
+  double cq_updated = 0;
+  double cq_removed = 0;
+  double pred_matches = 0;
+  double pred_read_ns = 0;
 };
 
 /// One full scenario at a given shard count.  Everything except the wall
@@ -108,6 +117,34 @@ RunResult run_one(std::uint32_t shards, int side,
           reactions.fetch_add(1, std::memory_order_relaxed);
         },
         static_cast<int>(EventKind::kTupleArrived));
+  }
+
+  // Continuous queries on a sample of nodes: a standing predicate query
+  // over nearby gradient replicas, maintained incrementally through the
+  // flood and churn phases below (docs/QUERY.md).
+  std::atomic<std::uint64_t> cq_added{0};
+  std::atomic<std::uint64_t> cq_updated{0};
+  std::atomic<std::uint64_t> cq_removed{0};
+  std::size_t cq_queries = 0;
+  for (std::size_t i = 0; i < nodes.size(); i += 64) {
+    Pattern near = Pattern::of_type(tuples::GradientTuple::kTag);
+    near.where("hopcount", Pred::le(16));
+    world.mw(nodes[i]).subscribe_query(
+        std::move(near), [&cq_added, &cq_updated, &cq_removed](
+                             const QueryDelta& d) {
+          switch (d.kind) {
+            case QueryDelta::Kind::kAdded:
+              cq_added.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case QueryDelta::Kind::kUpdated:
+              cq_updated.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case QueryDelta::Kind::kRemoved:
+              cq_removed.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        });
+    ++cq_queries;
   }
 
   // Four tuple types, ten network-wide structures, sources spread over
@@ -152,6 +189,20 @@ RunResult run_one(std::uint32_t shards, int side,
   r.read_one_ns =
       read_ms * 1e6 / (kSweeps * static_cast<double>(nodes.size()));
 
+  // Predicate read sweep: the same app-tick query with an AST residual,
+  // planned through the type bucket (bench.query.pred_read_ns).
+  const auto t_pred = Clock::now();
+  std::uint64_t pred_matches = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
+    p.eq("name", "field" + std::to_string(i % 4))
+        .where("hopcount", Pred::le(24));
+    pred_matches += world.mw(nodes[i]).space().peek(p).size();
+  }
+  const double pred_ms = ms_since(t_pred);
+  r.pred_matches = static_cast<double>(pred_matches);
+  r.pred_read_ns = pred_ms * 1e6 / static_cast<double>(nodes.size());
+
   // Link flaps: rotating cohorts teleport 50 km away and back — every
   // hop severs ~4 links, cascading retraction/heal rounds through the
   // structures.  This is the phase the scaling curve is about: healing
@@ -181,6 +232,10 @@ RunResult run_one(std::uint32_t shards, int side,
   r.coverage =
       exp::coverage(world, Pattern::of_type(tuples::GradientTuple::kTag));
   r.reactions = static_cast<double>(reactions.load());
+  r.cq_queries = static_cast<double>(cq_queries);
+  r.cq_added = static_cast<double>(cq_added.load());
+  r.cq_updated = static_cast<double>(cq_updated.load());
+  r.cq_removed = static_cast<double>(cq_removed.load());
 
   world.export_metrics(into);
   return r;
@@ -213,9 +268,11 @@ int main() {
     const RunResult r = run_one(t, side, hub.metrics);
     std::printf(
         "t=%-2u spawn=%.0fms flood=%.0fms read_one=%.0fns churn=%.0fms "
-        "nodes/s=%.3g coverage=%.3f reactions=%.0f\n",
+        "nodes/s=%.3g coverage=%.3f reactions=%.0f cq=%.0f/%.0f/%.0f "
+        "pred_read=%.0fns\n",
         t, r.spawn_ms, r.flood_ms, r.read_one_ns, r.churn_ms,
-        r.nodes_per_sec, r.coverage, r.reactions);
+        r.nodes_per_sec, r.coverage, r.reactions, r.cq_added, r.cq_updated,
+        r.cq_removed, r.pred_read_ns);
 
     const std::string pre = "bench.scale.t" + std::to_string(t) + ".";
     hub.metrics.gauge(pre + "spawn_ms").set(r.spawn_ms);
@@ -225,6 +282,14 @@ int main() {
     hub.metrics.gauge(pre + "nodes_per_sec").set(r.nodes_per_sec);
     hub.metrics.gauge(pre + "gradient_coverage").set(r.coverage);
     hub.metrics.gauge(pre + "reactions").set(r.reactions);
+
+    const std::string qpre = "bench.query.t" + std::to_string(t) + ".";
+    hub.metrics.gauge(qpre + "cq_queries").set(r.cq_queries);
+    hub.metrics.gauge(qpre + "cq_added").set(r.cq_added);
+    hub.metrics.gauge(qpre + "cq_updated").set(r.cq_updated);
+    hub.metrics.gauge(qpre + "cq_removed").set(r.cq_removed);
+    hub.metrics.gauge(qpre + "pred_matches").set(r.pred_matches);
+    hub.metrics.gauge(qpre + "pred_read_ns").set(r.pred_read_ns);
     if (base_nps == 0) base_nps = r.nodes_per_sec;
     if (r.nodes_per_sec > best_nps) best_nps = r.nodes_per_sec;
   }

@@ -17,8 +17,9 @@ Environment (inherited by the bench binaries):
   TOTA_BENCH_NODES    bench_scale population; rounded down to a square
                       grid (default 50176 = 224 x 224)
   TOTA_BENCH_THREADS  bench_scale shard/thread counts as a comma list;
-                      each entry runs the full scenario once and emits a
-                      bench.scale.t<N>.* gauge group (default "1,2,4,8")
+                      each entry runs the full scenario once and emits
+                      bench.scale.t<N>.* and bench.query.t<N>.* gauge
+                      groups (default "1,2,4,8")
 
 Example: a quick scaling check on a laptop
   TOTA_BENCH_NODES=10000 TOTA_BENCH_THREADS=1,4 scripts/bench_all.sh

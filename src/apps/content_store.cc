@@ -51,8 +51,12 @@ void ContentStore::start() {
   mw_.inject(std::make_unique<tuples::GradientTuple>(kBeaconName,
                                                      /*scope=*/1));
 
+  // Only the purposes this store serves; other navigation traffic never
+  // wakes the reaction.
+  Pattern navs = Pattern::of_type(tuples::NavTuple::kTag);
+  navs.where("purpose", Pred::any_of({wire::Value{"put"}, wire::Value{"get"}}));
   nav_subscription_ = mw_.subscribe(
-      Pattern::of_type(tuples::NavTuple::kTag),
+      std::move(navs),
       [this](const Event& event) {
         on_nav(static_cast<const tuples::NavTuple&>(*event.tuple));
       },

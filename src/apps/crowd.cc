@@ -41,16 +41,13 @@ std::optional<int> CrowdNavigator::destination_hops() const {
 }
 
 int CrowdNavigator::crowd_nearby() const {
+  // The whole question is a predicate: other visitors' presence fields
+  // reading within the avoidance radius.
   Pattern presence = Pattern::of_type(tuples::GradientTuple::kTag);
-  presence.eq("name", kPresenceField);
-  const NodeId self = mw_.self();
-  int nearby = 0;
-  for (const Tuple* t : mw_.space().peek(presence)) {
-    const auto& field = static_cast<const tuples::GradientTuple&>(*t);
-    if (field.source() == self) continue;
-    if (field.hopcount() <= params_.avoid_radius_hops) ++nearby;
-  }
-  return nearby;
+  presence.eq("name", kPresenceField)
+      .where("source", Pred::ne(mw_.self()))
+      .where("hopcount", Pred::le(params_.avoid_radius_hops));
+  return static_cast<int>(mw_.space().peek(presence).size());
 }
 
 bool CrowdNavigator::arrived() const {
@@ -80,14 +77,13 @@ void CrowdNavigator::control_step() {
   // Repulsion: climb out of nearby visitors' presence fields, harder the
   // closer they read.
   Pattern presence = Pattern::of_type(tuples::GradientTuple::kTag);
-  presence.eq("name", kPresenceField);
-  const NodeId self = mw_.self();
+  presence.eq("name", kPresenceField)
+      .where("source", Pred::ne(mw_.self()))
+      .where("hopcount", Pred::le(params_.avoid_radius_hops))
+      .exists("origin_pos");
   for (const Tuple* t : mw_.space().peek(presence)) {
     const auto& field = static_cast<const tuples::GradientTuple&>(*t);
-    if (field.source() == self) continue;
     const int hops = field.hopcount();
-    if (hops > params_.avoid_radius_hops) continue;
-    if (!field.content().has("origin_pos")) continue;
     const Vec2 away =
         (here - field.content().at("origin_pos").as_vec2()).normalized();
     const double weight =

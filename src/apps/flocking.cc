@@ -32,9 +32,7 @@ void FlockingController::schedule_next() {
 namespace {
 Pattern peer_fields(NodeId self) {
   Pattern p = Pattern::of_type(tuples::FlockTuple::kTag);
-  p.where("source", [self](const wire::Value& v) {
-    return v.as_node() != self;
-  });
+  p.where("source", Pred::ne(self));
   return p;
 }
 }  // namespace

@@ -28,9 +28,7 @@ void MeetingAgent::schedule_next() {
 Pattern MeetingAgent::peer_fields() const {
   Pattern p = Pattern::of_type(tuples::GradientTuple::kTag);
   p.eq("name", params_.meeting_name);
-  const NodeId self = mw_.self();
-  p.where("source",
-          [self](const wire::Value& v) { return v.as_node() != self; });
+  p.where("source", Pred::ne(mw_.self()));
   return p;
 }
 

@@ -29,11 +29,27 @@ PresenceTuple::PresenceTuple(NodeId neighbor, bool up) {
   content().set("event", up ? "up" : "down").set("node", neighbor);
 }
 
+const char* to_string(QueryDelta::Kind kind) {
+  switch (kind) {
+    case QueryDelta::Kind::kAdded:
+      return "added";
+    case QueryDelta::Kind::kUpdated:
+      return "updated";
+    case QueryDelta::Kind::kRemoved:
+      return "removed";
+  }
+  return "?";
+}
+
 BusMetrics::BusMetrics(obs::MetricsRegistry& registry)
     : publish(registry.counter("bus.publish")),
       candidates(registry.counter("bus.dispatch.candidates")),
       fired(registry.counter("bus.dispatch.fired")),
-      skipped_dead(registry.counter("bus.dispatch.skipped_dead")) {}
+      skipped_dead(registry.counter("bus.dispatch.skipped_dead")),
+      cq_evals(registry.counter("bus.cq.evals")),
+      cq_added(registry.counter("bus.cq.added")),
+      cq_updated(registry.counter("bus.cq.updated")),
+      cq_removed(registry.counter("bus.cq.removed")) {}
 
 void EventBus::bind_metrics(obs::MetricsRegistry& registry) {
   metrics_ = std::make_unique<BusMetrics>(registry);
@@ -114,6 +130,105 @@ void EventBus::publish(const Event& event) {
     }
     if (metrics_ != nullptr) metrics_->fired.inc();
     reaction(event);
+  }
+}
+
+QueryId EventBus::subscribe_query(Pattern pattern, QueryCallback on_delta,
+                                  QueryAccept accept) {
+  const QueryId id = next_query_id_++;
+  const std::string bucket = pattern.type_tag().value_or("");
+  queries_.emplace(id, ContinuousQuery{id, std::move(pattern),
+                                       std::move(on_delta), std::move(accept),
+                                       {}});
+  query_buckets_[bucket].push_back(id);
+  live_queries_.insert(id);
+  return id;
+}
+
+void EventBus::unsubscribe_query(QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  const std::string bucket = it->second.pattern.type_tag().value_or("");
+  const auto bucket_it = query_buckets_.find(bucket);
+  if (bucket_it != query_buckets_.end()) {
+    std::erase(bucket_it->second, id);
+    if (bucket_it->second.empty()) query_buckets_.erase(bucket_it);
+  }
+  live_queries_.erase(id);
+  queries_.erase(it);
+}
+
+void EventBus::evaluate_query(ContinuousQuery& q, bool erased,
+                              const std::string& type_tag, const Tuple& tuple,
+                              NodeId parent, bool propagated, SimTime now) {
+  if (metrics_ != nullptr) metrics_->cq_evals.inc();
+  const TupleUid uid = tuple.uid();
+  const bool member = q.members.contains(uid);
+  bool matches = false;
+  if (!erased) {
+    matches = q.pattern.matches_record(type_tag, tuple.content()) &&
+              q.pattern.matches_meta(parent, propagated) &&
+              (!q.accept || q.accept(tuple));
+  }
+  if (matches == member && !matches) return;  // non-member stays out
+
+  // Membership mutates before the callback and `q` is never touched
+  // after it: the callback may unsubscribe this very query.
+  QueryDelta delta{QueryDelta::Kind::kUpdated, &tuple, now};
+  if (matches && !member) {
+    q.members.insert(uid);
+    delta.kind = QueryDelta::Kind::kAdded;
+  } else if (!matches && member) {
+    q.members.erase(uid);
+    delta.kind = QueryDelta::Kind::kRemoved;
+  }
+  if (metrics_ != nullptr) {
+    switch (delta.kind) {
+      case QueryDelta::Kind::kAdded:
+        metrics_->cq_added.inc();
+        break;
+      case QueryDelta::Kind::kUpdated:
+        metrics_->cq_updated.inc();
+        break;
+      case QueryDelta::Kind::kRemoved:
+        metrics_->cq_removed.inc();
+        break;
+    }
+  }
+  const QueryCallback on_delta = q.on_delta;  // survives self-unsubscribe
+  on_delta(delta);
+}
+
+void EventBus::seed_query(QueryId id, const std::string& type_tag,
+                          const Tuple& tuple, NodeId parent, bool propagated,
+                          SimTime now) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  evaluate_query(it->second, /*erased=*/false, type_tag, tuple, parent,
+                 propagated, now);
+}
+
+void EventBus::notify_space(SpaceChange change, const std::string& type_tag,
+                            const Tuple& tuple, NodeId parent, bool propagated,
+                            SimTime now) {
+  if (queries_.empty()) return;
+  // Only queries bucketed on this tag (or untyped) can change — copied,
+  // because a callback may (un)subscribe and reshape the buckets.
+  std::vector<QueryId> ids;
+  for (const std::string& bucket : {type_tag, std::string{}}) {
+    const auto it = query_buckets_.find(bucket);
+    if (it != query_buckets_.end()) {
+      ids.insert(ids.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  const bool erased = change == SpaceChange::kErased;
+  for (const QueryId id : ids) {
+    if (!live_queries_.contains(id)) continue;
+    const auto it = queries_.find(id);
+    if (it == queries_.end()) continue;
+    evaluate_query(it->second, erased, type_tag, tuple, parent, propagated,
+                   now);
   }
 }
 

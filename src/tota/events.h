@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -70,6 +71,23 @@ class PresenceTuple final : public Tuple {
 };
 
 using SubscriptionId = std::uint64_t;
+using QueryId = std::uint64_t;
+
+/// One incremental change to a continuous query's result set
+/// (docs/QUERY.md).  `tuple` is valid only for the duration of the
+/// callback; kRemoved deltas see the tuple as it was when it left.
+struct QueryDelta {
+  enum class Kind {
+    kAdded,    // tuple entered the result set
+    kUpdated,  // a member was replaced and still matches
+    kRemoved,  // tuple left the result set (retract/take/replace-out)
+  };
+  Kind kind;
+  const Tuple* tuple;
+  SimTime time;
+};
+
+const char* to_string(QueryDelta::Kind kind);
 
 /// The bus's observability handles (docs/OBSERVABILITY.md, `bus.*`).
 struct BusMetrics {
@@ -85,11 +103,23 @@ struct BusMetrics {
   /// Snapshot entries skipped because an earlier reaction in the same
   /// publish unsubscribed them.
   obs::Counter& skipped_dead;
+
+  // Continuous-query counters (bus.cq.*, docs/QUERY.md).
+  /// (query, change) pairs evaluated across space mutations.
+  obs::Counter& cq_evals;
+  /// Deltas delivered, by kind.
+  obs::Counter& cq_added;
+  obs::Counter& cq_updated;
+  obs::Counter& cq_removed;
 };
 
 class EventBus {
  public:
   using Reaction = std::function<void(const Event&)>;
+  using QueryCallback = std::function<void(const QueryDelta&)>;
+  /// Per-tuple visibility filter a continuous query applies on top of its
+  /// pattern (Middleware passes the observe-access check).
+  using QueryAccept = std::function<bool(const Tuple&)>;
 
   /// Registers the bus.* instruments on `registry` and records into them
   /// from then on.  Optional: an unbound bus counts nothing.
@@ -115,6 +145,39 @@ class EventBus {
   [[nodiscard]] std::size_t subscription_count() const {
     return subscriptions_.size();
   }
+
+  // --- continuous queries (docs/QUERY.md) -----------------------------------
+  // A standing query whose result set is maintained *incrementally*: each
+  // space mutation (reported via notify_space) re-evaluates only the
+  // changed tuple against the registered patterns — never a re-scan —
+  // and membership transitions become added/updated/removed deltas.
+
+  /// Registers a standing query.  The caller seeds the initial result set
+  /// (see seed_query); from then on deltas flow from notify_space.
+  QueryId subscribe_query(Pattern pattern, QueryCallback on_delta,
+                          QueryAccept accept = nullptr);
+
+  void unsubscribe_query(QueryId id);
+
+  /// Admits one already-stored replica into query `id`'s result set at
+  /// registration time (fires kAdded if it matches).  Replays the same
+  /// evaluation notify_space would run for an insert.
+  void seed_query(QueryId id, const std::string& type_tag, const Tuple& tuple,
+                  NodeId parent, bool propagated, SimTime now);
+
+  /// The bus's view of a space mutation (mirrors
+  /// TupleSpace::ChangeKind; kept local so the bus stays independent of
+  /// the store's header).
+  enum class SpaceChange { kStored, kReplaced, kErased };
+
+  /// How a space mutation enters the bus (wired from
+  /// TupleSpace::set_listener by Middleware).  O(1) when no continuous
+  /// query could match the tuple's type.
+  void notify_space(SpaceChange change, const std::string& type_tag,
+                    const Tuple& tuple, NodeId parent, bool propagated,
+                    SimTime now);
+
+  [[nodiscard]] std::size_t query_count() const { return queries_.size(); }
 
  private:
   struct Subscription {
@@ -156,6 +219,29 @@ class EventBus {
   /// instead of rescanning the store per fired reaction.
   std::unordered_set<SubscriptionId> live_;
   SubscriptionId next_id_ = 1;
+
+  struct ContinuousQuery {
+    QueryId id;
+    Pattern pattern;
+    QueryCallback on_delta;
+    QueryAccept accept;
+    /// Current result-set membership, by uid.
+    std::set<TupleUid> members;
+  };
+
+  /// Evaluates one (query, change) pair and fires the resulting delta,
+  /// if any.  `erased` suppresses matching (the tuple is leaving).
+  void evaluate_query(ContinuousQuery& q, bool erased,
+                      const std::string& type_tag, const Tuple& tuple,
+                      NodeId parent, bool propagated, SimTime now);
+
+  /// Id-ordered store; delta delivery order == registration order.
+  std::map<QueryId, ContinuousQuery> queries_;
+  /// Type tag ("" = untyped) → query ids, pruned on unsubscribe.
+  std::unordered_map<std::string, std::vector<QueryId>> query_buckets_;
+  /// Live query ids — reentrancy guard mirroring `live_`.
+  std::unordered_set<QueryId> live_queries_;
+  QueryId next_query_id_ = 1;
   std::unique_ptr<BusMetrics> metrics_;
 };
 

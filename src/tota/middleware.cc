@@ -11,6 +11,25 @@ Middleware::Middleware(NodeId self, Platform& platform,
   obs::Hub& h = hub != nullptr ? *hub : obs::default_hub();
   space_.bind_metrics(h.metrics);
   bus_.bind_metrics(h.metrics);
+  // Every store mutation feeds the bus's continuous queries (O(1) when
+  // none are registered).
+  space_.set_listener(
+      [this](TupleSpace::ChangeKind kind, const TupleSpace::Entry& entry) {
+        EventBus::SpaceChange change = EventBus::SpaceChange::kStored;
+        switch (kind) {
+          case TupleSpace::ChangeKind::kInserted:
+            change = EventBus::SpaceChange::kStored;
+            break;
+          case TupleSpace::ChangeKind::kReplaced:
+            change = EventBus::SpaceChange::kReplaced;
+            break;
+          case TupleSpace::ChangeKind::kErased:
+            change = EventBus::SpaceChange::kErased;
+            break;
+        }
+        bus_.notify_space(change, entry.type_tag, *entry.tuple, entry.parent,
+                          entry.propagated, platform_.now());
+      });
 }
 
 TupleUid Middleware::inject(std::unique_ptr<Tuple> tuple) {
@@ -19,11 +38,11 @@ TupleUid Middleware::inject(std::unique_ptr<Tuple> tuple) {
 
 std::vector<std::unique_ptr<Tuple>> Middleware::read(
     const Pattern& pattern) const {
-  auto results = space_.read(pattern);
-  std::erase_if(results, [this](const std::unique_ptr<Tuple>& t) {
-    return !t->permits(AccessOp::kObserve, self());
+  // The access filter runs inside the space's match loop, so denied
+  // tuples are never cloned.
+  return space_.read(pattern, [this](const Tuple& t) {
+    return t.permits(AccessOp::kObserve, self());
   });
-  return results;
 }
 
 std::unique_ptr<Tuple> Middleware::read_one(const Pattern& pattern) const {
@@ -51,6 +70,25 @@ SubscriptionId Middleware::subscribe(Pattern pattern,
                                      int kind_filter) {
   return bus_.subscribe(std::move(pattern), std::move(reaction), kind_filter);
 }
+
+QueryId Middleware::subscribe_query(Pattern pattern,
+                                    EventBus::QueryCallback on_delta) {
+  const Pattern seed = pattern;  // replay needs it after the bus takes it
+  const QueryId id = bus_.subscribe_query(
+      std::move(pattern), std::move(on_delta), [this](const Tuple& t) {
+        return t.permits(AccessOp::kObserve, self());
+      });
+  // Replay: admit every currently-stored match (uid order), so the
+  // caller's view starts complete before incremental deltas take over.
+  space_.for_matching(seed, [&](const TupleSpace::Entry& entry) {
+    bus_.seed_query(id, entry.type_tag, *entry.tuple, entry.parent,
+                    entry.propagated, platform_.now());
+    return true;
+  });
+  return id;
+}
+
+void Middleware::unsubscribe_query(QueryId id) { bus_.unsubscribe_query(id); }
 
 void Middleware::unsubscribe(SubscriptionId id) { bus_.unsubscribe(id); }
 

@@ -65,6 +65,14 @@ class Middleware {
   void unsubscribe(SubscriptionId id);
   void unsubscribe(const Pattern& pattern);
 
+  /// Registers a continuous query (docs/QUERY.md): `on_delta` first
+  /// replays the current matches as kAdded deltas (uid order), then the
+  /// result set is maintained incrementally on every local store change —
+  /// no re-scan.  Tuples this node may not observe never enter the set.
+  QueryId subscribe_query(Pattern pattern, EventBus::QueryCallback on_delta);
+
+  void unsubscribe_query(QueryId id);
+
   // --- link-layer upcalls ---------------------------------------------------
 
   void on_datagram(NodeId from, std::span<const std::uint8_t> payload);

@@ -4,6 +4,15 @@
 
 namespace tota {
 
+namespace {
+// A hostile pattern with thousands of clauses is garbage, not a query.
+constexpr std::uint64_t kMaxFields = 256;
+
+constexpr std::uint8_t kHasType = 1u << 0;
+constexpr std::uint8_t kHasParent = 1u << 1;
+constexpr std::uint8_t kHasPropagated = 1u << 2;
+}  // namespace
+
 Pattern Pattern::of_type(std::string tag) {
   Pattern p;
   p.type(std::move(tag));
@@ -16,18 +25,27 @@ Pattern& Pattern::type(std::string tag) {
 }
 
 Pattern& Pattern::eq(std::string field, wire::Value value) {
-  fields_.push_back(
-      {Kind::kExact, std::move(field), std::move(value), nullptr});
+  fields_.push_back({std::move(field), Pred::eq(std::move(value))});
   return *this;
 }
 
 Pattern& Pattern::exists(std::string field) {
-  fields_.push_back({Kind::kExists, std::move(field), {}, nullptr});
+  fields_.push_back({std::move(field), Pred::exists()});
   return *this;
 }
 
-Pattern& Pattern::where(std::string field, Predicate pred) {
-  fields_.push_back({Kind::kPredicate, std::move(field), {}, std::move(pred)});
+Pattern& Pattern::where(std::string field, Pred pred) {
+  fields_.push_back({std::move(field), std::move(pred)});
+  return *this;
+}
+
+Pattern& Pattern::from_parent(NodeId parent) {
+  parent_ = parent;
+  return *this;
+}
+
+Pattern& Pattern::propagated_only(bool flag) {
+  propagated_ = flag;
   return *this;
 }
 
@@ -38,54 +56,99 @@ bool Pattern::matches(const Tuple& tuple) const {
 bool Pattern::matches_record(const std::string& tag,
                              const wire::Record& content) const {
   if (type_ && *type_ != tag) return false;
+  return matches_fields(content);
+}
+
+bool Pattern::matches_fields(const wire::Record& content) const {
   for (const auto& c : fields_) {
     const auto value = content.find(c.name);
     if (!value) return false;
-    switch (c.kind) {
-      case Kind::kExact:
-        if (!(*value == c.value)) return false;
-        break;
-      case Kind::kExists:
-        break;
-      case Kind::kPredicate:
-        if (!c.predicate(*value)) return false;
-        break;
-    }
+    if (!c.pred.eval(*value)) return false;
   }
   return true;
 }
 
-bool Pattern::equivalent(const Pattern& other) const {
-  if (type_ != other.type_) return false;
-  if (fields_.size() != other.fields_.size()) return false;
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    const auto& a = fields_[i];
-    const auto& b = other.fields_[i];
-    if (a.kind != b.kind || a.name != b.name) return false;
-    if (a.kind == Kind::kExact && !(a.value == b.value)) return false;
-    if (a.kind == Kind::kPredicate) return false;  // opaque; never equal
-  }
+bool Pattern::matches_meta(NodeId parent, bool propagated) const {
+  if (parent_ && *parent_ != parent) return false;
+  if (propagated_ && *propagated_ != propagated) return false;
   return true;
+}
+
+bool Pattern::equivalent(const Pattern& other) const {
+  return type_ == other.type_ && parent_ == other.parent_ &&
+         propagated_ == other.propagated_ && fields_ == other.fields_;
+}
+
+void Pattern::encode(wire::Writer& w) const {
+  std::uint8_t flags = 0;
+  if (type_) flags |= kHasType;
+  if (parent_) flags |= kHasParent;
+  if (propagated_) flags |= kHasPropagated;
+  w.u8(flags);
+  if (type_) w.string(*type_);
+  if (parent_) w.uvarint(parent_->value());
+  if (propagated_) w.boolean(*propagated_);
+  w.uvarint(fields_.size());
+  for (const auto& c : fields_) {
+    w.string(c.name);
+    c.pred.encode(w);
+  }
+}
+
+Pattern Pattern::decode(wire::Reader& r) {
+  const auto flags = r.u8();
+  if ((flags & ~(kHasType | kHasParent | kHasPropagated)) != 0) {
+    throw wire::DecodeError("unknown pattern flags");
+  }
+  Pattern p;
+  if ((flags & kHasType) != 0) p.type_ = r.string();
+  if ((flags & kHasParent) != 0) p.parent_ = NodeId{r.uvarint()};
+  if ((flags & kHasPropagated) != 0) p.propagated_ = r.boolean();
+  const auto n = r.uvarint();
+  if (n > kMaxFields) throw wire::DecodeError("pattern too wide");
+  p.fields_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.string();
+    p.fields_.push_back({std::move(name), Pred::decode(r)});
+  }
+  return p;
+}
+
+wire::Record Pattern::to_record() const {
+  wire::Writer w;
+  encode(w);
+  wire::Record record;
+  if (type_) record.set("type", *type_);
+  record.set("pattern", w.take());
+  return record;
+}
+
+Pattern Pattern::from_record(const wire::Record& record) {
+  wire::Reader r(record.at("pattern").as_blob());
+  Pattern p = decode(r);
+  r.expect_done();
+  return p;
 }
 
 std::string Pattern::str() const {
   std::string out = type_ ? *type_ : "*";
   out += "{";
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    if (i > 0) out += ", ";
-    const auto& c = fields_[i];
-    out += c.name;
-    switch (c.kind) {
-      case Kind::kExact:
-        out += "=" + c.value.str();
-        break;
-      case Kind::kExists:
-        out += "=?";
-        break;
-      case Kind::kPredicate:
-        out += "~pred";
-        break;
-    }
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& c : fields_) {
+    sep();
+    out += c.name + c.pred.str();
+  }
+  if (parent_) {
+    sep();
+    out += "parent=" + to_string(*parent_);
+  }
+  if (propagated_) {
+    sep();
+    out += *propagated_ ? "propagated" : "!propagated";
   }
   out += "}";
   return out;

@@ -1,0 +1,239 @@
+#include "tota/predicate.h"
+
+namespace tota {
+
+namespace {
+// Decode limits: deep nesting only comes from all_of, wide operand lists
+// only from any_of.  Both are far above anything a real query needs and
+// low enough that garbage input stays cheap to reject.
+constexpr int kMaxDepth = 8;
+constexpr std::uint64_t kMaxOptions = 1024;
+constexpr std::uint64_t kMaxParts = 64;
+}  // namespace
+
+const char* to_string(PredOp op) {
+  switch (op) {
+    case PredOp::kExists:
+      return "exists";
+    case PredOp::kEq:
+      return "eq";
+    case PredOp::kNe:
+      return "ne";
+    case PredOp::kLt:
+      return "lt";
+    case PredOp::kLe:
+      return "le";
+    case PredOp::kGt:
+      return "gt";
+    case PredOp::kGe:
+      return "ge";
+    case PredOp::kBetween:
+      return "between";
+    case PredOp::kAnyOf:
+      return "any_of";
+    case PredOp::kAllOf:
+      return "all_of";
+  }
+  return "?";
+}
+
+Pred::Pred(PredOp op, std::vector<wire::Value> values, std::vector<Pred> parts)
+    : op_(op), values_(std::move(values)), parts_(std::move(parts)) {}
+
+Pred Pred::exists() { return Pred{}; }
+
+Pred Pred::eq(wire::Value value) {
+  return Pred{PredOp::kEq, {std::move(value)}, {}};
+}
+
+Pred Pred::ne(wire::Value value) {
+  return Pred{PredOp::kNe, {std::move(value)}, {}};
+}
+
+Pred Pred::lt(wire::Value bound) {
+  return Pred{PredOp::kLt, {std::move(bound)}, {}};
+}
+
+Pred Pred::le(wire::Value bound) {
+  return Pred{PredOp::kLe, {std::move(bound)}, {}};
+}
+
+Pred Pred::gt(wire::Value bound) {
+  return Pred{PredOp::kGt, {std::move(bound)}, {}};
+}
+
+Pred Pred::ge(wire::Value bound) {
+  return Pred{PredOp::kGe, {std::move(bound)}, {}};
+}
+
+Pred Pred::between(wire::Value lo, wire::Value hi) {
+  return Pred{PredOp::kBetween, {std::move(lo), std::move(hi)}, {}};
+}
+
+Pred Pred::any_of(std::vector<wire::Value> options) {
+  return Pred{PredOp::kAnyOf, std::move(options), {}};
+}
+
+Pred Pred::all_of(std::vector<Pred> parts) {
+  return Pred{PredOp::kAllOf, {}, std::move(parts)};
+}
+
+bool Pred::eval(const wire::Value& value) const {
+  switch (op_) {
+    case PredOp::kExists:
+      return true;
+    case PredOp::kEq:
+      return value == values_[0];
+    case PredOp::kNe:
+      return !(value == values_[0]);
+    case PredOp::kLt:
+    case PredOp::kLe:
+    case PredOp::kGt:
+    case PredOp::kGe: {
+      const auto c = wire::compare_ordered(value, values_[0]);
+      if (!c) return false;  // unordered pairing never matches
+      switch (op_) {
+        case PredOp::kLt:
+          return *c < 0;
+        case PredOp::kLe:
+          return *c <= 0;
+        case PredOp::kGt:
+          return *c > 0;
+        default:
+          return *c >= 0;
+      }
+    }
+    case PredOp::kBetween: {
+      const auto lo = wire::compare_ordered(value, values_[0]);
+      const auto hi = wire::compare_ordered(value, values_[1]);
+      return lo && hi && *lo >= 0 && *hi <= 0;
+    }
+    case PredOp::kAnyOf:
+      for (const auto& option : values_) {
+        if (value == option) return true;
+      }
+      return false;
+    case PredOp::kAllOf:
+      for (const auto& part : parts_) {
+        if (!part.eval(value)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+void Pred::encode(wire::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(op_));
+  switch (op_) {
+    case PredOp::kExists:
+      break;
+    case PredOp::kEq:
+    case PredOp::kNe:
+    case PredOp::kLt:
+    case PredOp::kLe:
+    case PredOp::kGt:
+    case PredOp::kGe:
+      values_[0].encode(w);
+      break;
+    case PredOp::kBetween:
+      values_[0].encode(w);
+      values_[1].encode(w);
+      break;
+    case PredOp::kAnyOf:
+      w.uvarint(values_.size());
+      for (const auto& v : values_) v.encode(w);
+      break;
+    case PredOp::kAllOf:
+      w.uvarint(parts_.size());
+      for (const auto& p : parts_) p.encode(w);
+      break;
+  }
+}
+
+Pred Pred::decode(wire::Reader& r) { return decode_at(r, 0); }
+
+Pred Pred::decode_at(wire::Reader& r, int depth) {
+  if (depth > kMaxDepth) throw wire::DecodeError("predicate nested too deep");
+  const auto tag = r.u8();
+  if (tag > static_cast<std::uint8_t>(PredOp::kAllOf)) {
+    throw wire::DecodeError("unknown predicate op " + std::to_string(tag));
+  }
+  const auto op = static_cast<PredOp>(tag);
+  switch (op) {
+    case PredOp::kExists:
+      return Pred{};
+    case PredOp::kEq:
+    case PredOp::kNe:
+    case PredOp::kLt:
+    case PredOp::kLe:
+    case PredOp::kGt:
+    case PredOp::kGe:
+      return Pred{op, {wire::Value::decode(r)}, {}};
+    case PredOp::kBetween: {
+      auto lo = wire::Value::decode(r);
+      auto hi = wire::Value::decode(r);
+      return Pred{op, {std::move(lo), std::move(hi)}, {}};
+    }
+    case PredOp::kAnyOf: {
+      const auto n = r.uvarint();
+      if (n > kMaxOptions) throw wire::DecodeError("any_of too wide");
+      std::vector<wire::Value> options;
+      options.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        options.push_back(wire::Value::decode(r));
+      }
+      return Pred{op, std::move(options), {}};
+    }
+    case PredOp::kAllOf: {
+      const auto n = r.uvarint();
+      if (n > kMaxParts) throw wire::DecodeError("all_of too wide");
+      std::vector<Pred> parts;
+      parts.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        parts.push_back(decode_at(r, depth + 1));
+      }
+      return Pred{op, {}, std::move(parts)};
+    }
+  }
+  throw wire::DecodeError("unknown predicate op");
+}
+
+std::string Pred::str() const {
+  switch (op_) {
+    case PredOp::kExists:
+      return "?";
+    case PredOp::kEq:
+      return "=" + values_[0].str();
+    case PredOp::kNe:
+      return "!=" + values_[0].str();
+    case PredOp::kLt:
+      return "<" + values_[0].str();
+    case PredOp::kLe:
+      return "<=" + values_[0].str();
+    case PredOp::kGt:
+      return ">" + values_[0].str();
+    case PredOp::kGe:
+      return ">=" + values_[0].str();
+    case PredOp::kBetween:
+      return " in [" + values_[0].str() + ", " + values_[1].str() + "]";
+    case PredOp::kAnyOf: {
+      std::string out = " in {";
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += values_[i].str();
+      }
+      return out + "}";
+    }
+    case PredOp::kAllOf: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < parts_.size(); ++i) {
+        if (i > 0) out += " & ";
+        out += parts_[i].str();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tota

@@ -1,5 +1,7 @@
 #include "tota/tuple_space.h"
 
+#include "tota/query.h"
+
 namespace tota {
 
 SpaceMetrics::SpaceMetrics(obs::MetricsRegistry& registry)
@@ -7,7 +9,13 @@ SpaceMetrics::SpaceMetrics(obs::MetricsRegistry& registry)
       query_scan(registry.counter("space.query.scan")),
       candidates(registry.counter("space.query.candidates")),
       matches(registry.counter("space.query.matches")),
-      naive_candidates(registry.counter("space.query.naive_candidates")) {}
+      naive_candidates(registry.counter("space.query.naive_candidates")),
+      plan_type_index(registry.counter("space.plan.type_index")),
+      plan_parent_index(registry.counter("space.plan.parent_index")),
+      plan_propagated_index(registry.counter("space.plan.propagated_index")),
+      plan_full_scan(registry.counter("space.plan.full_scan")),
+      plan_candidates(registry.counter("space.plan.candidates")),
+      plan_residual_evals(registry.counter("space.plan.residual_evals")) {}
 
 void TupleSpace::bind_metrics(obs::MetricsRegistry& registry) {
   metrics_ = std::make_unique<SpaceMetrics>(registry);
@@ -40,10 +48,23 @@ void TupleSpace::put(std::unique_ptr<Tuple> tuple, NodeId parent,
   const auto [it, inserted] = entries_.try_emplace(uid);
   // Replacement may change the tag/parent/flag, so the old entry leaves
   // the indexes before the new one enters.
-  if (!inserted) unindex_entry(uid, it->second);
+  bool tag_changed = false;
+  if (!inserted) {
+    tag_changed = it->second.type_tag != tag;
+    // To observers, a replacement that changes the type tag is an erase
+    // of the old replica followed by an insert — a type-bucketed
+    // continuous query on the old tag must see its member leave.
+    if (tag_changed && listener_) listener_(ChangeKind::kErased, it->second);
+    unindex_entry(uid, it->second);
+  }
   it->second =
       Entry{std::move(tuple), std::move(tag), parent, propagated, now};
   index_entry(uid, it->second);
+  if (listener_) {
+    listener_(inserted || tag_changed ? ChangeKind::kInserted
+                                      : ChangeKind::kReplaced,
+              it->second);
+  }
 }
 
 const TupleSpace::Entry* TupleSpace::find(const TupleUid& uid) const {
@@ -54,42 +75,98 @@ const TupleSpace::Entry* TupleSpace::find(const TupleUid& uid) const {
 std::unique_ptr<Tuple> TupleSpace::erase(const TupleUid& uid) {
   const auto it = entries_.find(uid);
   if (it == entries_.end()) return nullptr;
+  // Notified while the entry is still intact and indexed, so listeners
+  // see the state being removed.
+  if (listener_) listener_(ChangeKind::kErased, it->second);
   unindex_entry(uid, it->second);
   auto tuple = std::move(it->second.tuple);
   entries_.erase(it);
   return tuple;
 }
 
+const std::map<TupleUid, const TupleSpace::Entry*>* TupleSpace::type_bucket(
+    const std::string& tag) const {
+  const auto it = by_type_.find(tag);
+  return it == by_type_.end() ? nullptr : &it->second;
+}
+
+const std::set<TupleUid>* TupleSpace::parent_bucket(NodeId parent) const {
+  const auto it = by_parent_.find(parent);
+  return it == by_parent_.end() ? nullptr : &it->second;
+}
+
 template <typename Fn>
 void TupleSpace::match(const Pattern& pattern, Fn&& fn) const {
+  const query::Plan plan = query::compile(pattern, *this);
   if (metrics_ != nullptr) {
     metrics_->naive_candidates.inc(
         static_cast<std::int64_t>(entries_.size()));
-  }
-  // Matching against the cached tag (matches_record) skips the virtual
-  // type_tag() string construction per candidate.
-  if (const auto& tag = pattern.type_tag(); tag.has_value()) {
-    if (metrics_ != nullptr) metrics_->query_indexed.inc();
-    const auto bucket = by_type_.find(*tag);
-    if (bucket == by_type_.end()) return;
-    for (const auto& [uid, entry] : bucket->second) {
-      if (metrics_ != nullptr) metrics_->candidates.inc();
-      if (!pattern.matches_record(entry->type_tag, entry->tuple->content())) {
-        continue;
+    if (plan.path == query::AccessPath::kFullScan) {
+      metrics_->query_scan.inc();
+      metrics_->plan_full_scan.inc();
+    } else {
+      metrics_->query_indexed.inc();
+      switch (plan.path) {
+        case query::AccessPath::kTypeIndex:
+          metrics_->plan_type_index.inc();
+          break;
+        case query::AccessPath::kParentIndex:
+          metrics_->plan_parent_index.inc();
+          break;
+        case query::AccessPath::kPropagatedIndex:
+          metrics_->plan_propagated_index.inc();
+          break;
+        case query::AccessPath::kFullScan:
+          break;
       }
-      if (metrics_ != nullptr) metrics_->matches.inc();
-      if (!fn(*entry)) return;
     }
-    return;
+    metrics_->plan_candidates.inc(static_cast<std::int64_t>(plan.candidates));
   }
-  if (metrics_ != nullptr) metrics_->query_scan.inc();
-  for (const auto& [uid, entry] : entries_) {
+
+  // Residual checks run per candidate against the cached tag and entry
+  // metadata — no virtual call anywhere on this path.
+  const auto consider = [&](const Entry& entry) -> bool {
     if (metrics_ != nullptr) metrics_->candidates.inc();
-    if (!pattern.matches_record(entry.type_tag, entry.tuple->content())) {
-      continue;
+    if (plan.check_type && entry.type_tag != *pattern.type_tag()) return true;
+    if (plan.check_parent && entry.parent != *pattern.parent()) return true;
+    if (plan.check_propagated && entry.propagated != *pattern.propagated()) {
+      return true;
+    }
+    if (plan.check_fields) {
+      if (metrics_ != nullptr) metrics_->plan_residual_evals.inc();
+      if (!pattern.matches_fields(entry.tuple->content())) return true;
     }
     if (metrics_ != nullptr) metrics_->matches.inc();
-    if (!fn(entry)) return;
+    return fn(entry);
+  };
+
+  switch (plan.path) {
+    case query::AccessPath::kTypeIndex: {
+      const auto* bucket = type_bucket(*pattern.type_tag());
+      if (bucket == nullptr) return;
+      for (const auto& [uid, entry] : *bucket) {
+        if (!consider(*entry)) return;
+      }
+      return;
+    }
+    case query::AccessPath::kParentIndex: {
+      const auto* bucket = parent_bucket(*pattern.parent());
+      if (bucket == nullptr) return;
+      for (const TupleUid& uid : *bucket) {
+        if (!consider(entries_.find(uid)->second)) return;
+      }
+      return;
+    }
+    case query::AccessPath::kPropagatedIndex:
+      for (const TupleUid& uid : propagated_) {
+        if (!consider(entries_.find(uid)->second)) return;
+      }
+      return;
+    case query::AccessPath::kFullScan:
+      for (const auto& [uid, entry] : entries_) {
+        if (!consider(entry)) return;
+      }
+      return;
   }
 }
 
@@ -98,6 +175,17 @@ std::vector<std::unique_ptr<Tuple>> TupleSpace::read(
   std::vector<std::unique_ptr<Tuple>> out;
   match(pattern, [&out](const Entry& entry) {
     out.push_back(entry.tuple->clone());
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::unique_ptr<Tuple>> TupleSpace::read(
+    const Pattern& pattern,
+    const std::function<bool(const Tuple&)>& accept) const {
+  std::vector<std::unique_ptr<Tuple>> out;
+  match(pattern, [&out, &accept](const Entry& entry) {
+    if (accept(*entry.tuple)) out.push_back(entry.tuple->clone());
     return true;
   });
   return out;
@@ -157,6 +245,12 @@ std::vector<TupleUid> TupleSpace::propagated_uids() const {
 
 void TupleSpace::for_each(const std::function<void(const Entry&)>& fn) const {
   for (const auto& [uid, entry] : entries_) fn(entry);
+}
+
+void TupleSpace::for_matching(
+    const Pattern& pattern,
+    const std::function<bool(const Entry&)>& fn) const {
+  match(pattern, fn);
 }
 
 }  // namespace tota

@@ -45,9 +45,10 @@ namespace tota {
 struct SpaceMetrics {
   explicit SpaceMetrics(obs::MetricsRegistry& registry);
 
-  /// Queries answered from the type-tag index (pattern had a type).
+  /// Queries answered from any secondary index (plan chose a non-scan
+  /// access path; historically "pattern had a type").
   obs::Counter& query_indexed;
-  /// Queries that fell back to scanning the whole store (untyped pattern).
+  /// Queries that fell back to scanning the whole store.
   obs::Counter& query_scan;
   /// Entries actually examined (pattern-match attempts) across queries.
   obs::Counter& candidates;
@@ -56,6 +57,18 @@ struct SpaceMetrics {
   /// Entries a naive full scan would have examined (store size at query
   /// time); candidates/naive_candidates is the index's candidate ratio.
   obs::Counter& naive_candidates;
+
+  // Query-planner counters (space.plan.*, docs/QUERY.md): which access
+  // path each compiled plan chose, and how much residual work ran.
+  obs::Counter& plan_type_index;
+  obs::Counter& plan_parent_index;
+  obs::Counter& plan_propagated_index;
+  obs::Counter& plan_full_scan;
+  /// Candidates the chosen paths promised to touch (per plan, at compile
+  /// time; equals space.query.candidates unless a query early-exits).
+  obs::Counter& plan_candidates;
+  /// Candidates that reached field-predicate evaluation (the residual).
+  obs::Counter& plan_residual_evals;
 };
 
 class TupleSpace {
@@ -74,6 +87,24 @@ class TupleSpace {
     SimTime stored_at;
   };
 
+  /// How a replica changed, as seen by the change listener.
+  enum class ChangeKind {
+    kInserted,  // a new uid entered the store
+    kReplaced,  // an existing uid was overwritten (possibly new tag/meta)
+    kErased,    // a replica left the store (take/retract/supersede)
+  };
+
+  /// One listener observes every mutation — the hook continuous queries
+  /// hang off (Middleware wires it into EventBus::notify_space).  For
+  /// kInserted/kReplaced the entry is the fully-indexed new state; for
+  /// kErased it is the still-intact entry just before removal.  The
+  /// listener must not mutate the space reentrantly.
+  using ChangeListener =
+      std::function<void(ChangeKind kind, const Entry& entry)>;
+  void set_listener(ChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
   /// Registers the space.* instruments on `registry` and records into
   /// them from then on.  Optional: an unbound space counts nothing.
   void bind_metrics(obs::MetricsRegistry& registry);
@@ -91,6 +122,13 @@ class TupleSpace {
   /// Copies of all stored tuples matching `pattern` (the paper's `read`).
   [[nodiscard]] std::vector<std::unique_ptr<Tuple>> read(
       const Pattern& pattern) const;
+
+  /// Copies of matches `accept` approves (e.g. an access-control check);
+  /// rejected matches are never cloned.  Pattern-level counters
+  /// (space.query.*) are identical to the unfiltered read's.
+  [[nodiscard]] std::vector<std::unique_ptr<Tuple>> read(
+      const Pattern& pattern,
+      const std::function<bool(const Tuple&)>& accept) const;
 
   /// First match, if any — the common single-tuple lookup.  Early-exits
   /// on the first (lowest-uid) match.
@@ -121,6 +159,23 @@ class TupleSpace {
   /// Iterates entries in deterministic (uid) order.
   void for_each(const std::function<void(const Entry&)>& fn) const;
 
+  /// Runs `fn` over every entry matching `pattern` — fields *and* replica
+  /// metadata — in uid order, until `fn` returns false.  Plan-assisted;
+  /// what Middleware uses to seed a continuous query's result set.
+  void for_matching(const Pattern& pattern,
+                    const std::function<bool(const Entry&)>& fn) const;
+
+  // --- planner surface (tota/query.cc) -------------------------------------
+  // Read-only views of the secondary indexes so `query::compile` can
+  // price access paths; nullptr when the bucket doesn't exist.
+
+  [[nodiscard]] const std::map<TupleUid, const Entry*>* type_bucket(
+      const std::string& tag) const;
+  [[nodiscard]] const std::set<TupleUid>* parent_bucket(NodeId parent) const;
+  [[nodiscard]] const std::set<TupleUid>& propagated_set() const {
+    return propagated_;
+  }
+
  private:
   /// Inserts/removes `entry` (stored under `uid`) into/from the three
   /// secondary indexes.  Entry addresses are stable (std::map nodes), so
@@ -128,9 +183,10 @@ class TupleSpace {
   void index_entry(const TupleUid& uid, const Entry& entry);
   void unindex_entry(const TupleUid& uid, const Entry& entry);
 
-  /// Runs `fn(entry)` over pattern candidates in uid order — the type
-  /// bucket when the pattern is typed, the whole store otherwise — until
-  /// `fn` returns false.  Only matching entries reach `fn`.
+  /// Compiles `pattern` into an access plan (tota/query.h) and runs
+  /// `fn(entry)` over the plan's candidates in uid order, applying
+  /// residual constraints per candidate, until `fn` returns false.  Only
+  /// matching entries reach `fn`.
   template <typename Fn>
   void match(const Pattern& pattern, Fn&& fn) const;
 
@@ -138,6 +194,7 @@ class TupleSpace {
   std::unordered_map<std::string, std::map<TupleUid, const Entry*>> by_type_;
   std::unordered_map<NodeId, std::set<TupleUid>> by_parent_;
   std::set<TupleUid> propagated_;
+  ChangeListener listener_;
   std::unique_ptr<SpaceMetrics> metrics_;
 };
 

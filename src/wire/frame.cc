@@ -36,7 +36,9 @@ Frame Frame::decode(std::span<const std::uint8_t> payload) {
       return frame;
     case FrameKind::kProbe:
       frame.uid = read_uid(r);
-      r.expect_done();
+      // Anything after the uid is an encoded pattern body, handed to the
+      // engine undecoded (the wire layer cannot name tota::Pattern).
+      frame.probe_pattern = payload.subspan(payload.size() - r.remaining());
       return frame;
   }
   throw DecodeError("unknown frame kind");
@@ -60,11 +62,13 @@ Bytes Frame::retract(const TupleUid& uid, int removed_hop) {
   return w.take();
 }
 
-Bytes Frame::probe(const TupleUid& uid) {
+Bytes Frame::probe(const TupleUid& uid,
+                   std::span<const std::uint8_t> pattern_body) {
   Writer w;
-  w.reserve(kControlFrameReserve);
+  w.reserve(kControlFrameReserve + pattern_body.size());
   w.u8(static_cast<std::uint8_t>(FrameKind::kProbe));
   write_uid(w, uid);
+  w.raw(pattern_body);
   return w.take();
 }
 

@@ -144,6 +144,30 @@ std::string Value::str() const {
   return "?";
 }
 
+std::optional<int> compare_ordered(const Value& a, const Value& b) {
+  const auto numeric = [](const Value& v) {
+    return v.type() == ValueType::kInt || v.type() == ValueType::kDouble;
+  };
+  if (numeric(a) && numeric(b)) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      const std::int64_t av = a.as_int();
+      const std::int64_t bv = b.as_int();
+      return av < bv ? -1 : (bv < av ? 1 : 0);
+    }
+    const double av = a.as_number();
+    const double bv = b.as_number();
+    if (av < bv) return -1;
+    if (bv < av) return 1;
+    if (av == bv) return 0;
+    return std::nullopt;  // NaN on either side
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;
+}
+
 std::size_t Value::hash() const {
   const std::size_t seed = static_cast<std::size_t>(type()) * 0x9E3779B9u;
   auto mix = [seed](std::size_t h) {

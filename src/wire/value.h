@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <variant>
@@ -91,5 +92,14 @@ class Value {
 };
 
 inline bool operator<(const Value& a, const Value& b) { return a.less(b); }
+
+/// Domain-ordered comparison for predicate evaluation (tota::Pred):
+/// numbers compare numerically (int and double mix), strings compare
+/// lexicographically.  Every other pairing — and NaN — is unordered and
+/// yields nullopt, which ordered predicates treat as "no match".  This is
+/// deliberately narrower than Value::less, whose cross-type total order
+/// exists only to key containers and has no query meaning.
+[[nodiscard]] std::optional<int> compare_ordered(const Value& a,
+                                                 const Value& b);
 
 }  // namespace tota::wire

@@ -170,6 +170,186 @@ TEST(EventBusTest, BoundMetricsCountDispatch) {
   EXPECT_EQ(registry.get("bus.dispatch.skipped_dead"), 0);
 }
 
+// --- continuous queries ------------------------------------------------------
+
+GradientTuple make_member(std::uint64_t seq, const std::string& name,
+                          int hop) {
+  GradientTuple g(name);
+  g.set_uid(TupleUid{NodeId{1}, seq});
+  g.content().set("source", NodeId{1}).set("hopcount", hop);
+  return g;
+}
+
+TEST(ContinuousQueryTest, DeltasTrackMembershipTransitions) {
+  EventBus bus;
+  std::vector<std::pair<QueryDelta::Kind, std::uint64_t>> log;
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  p.where("hopcount", Pred::le(3));
+  bus.subscribe_query(p, [&](const QueryDelta& d) {
+    log.emplace_back(d.kind, d.tuple->uid().sequence());
+  });
+
+  const auto near = make_member(1, "a", 2);
+  const auto far = make_member(2, "a", 9);
+  using SC = EventBus::SpaceChange;
+  // Insert a match → added; insert a non-match → silence.
+  bus.notify_space(SC::kStored, GradientTuple::kTag, near, NodeId{}, false,
+                   SimTime::zero());
+  bus.notify_space(SC::kStored, GradientTuple::kTag, far, NodeId{}, false,
+                   SimTime::zero());
+  // Replace while still matching → updated.
+  const auto nearer = make_member(1, "a", 1);
+  bus.notify_space(SC::kReplaced, GradientTuple::kTag, nearer, NodeId{},
+                   false, SimTime::zero());
+  // Replace out of the predicate → removed (no re-scan anywhere).
+  const auto drifted = make_member(1, "a", 7);
+  bus.notify_space(SC::kReplaced, GradientTuple::kTag, drifted, NodeId{},
+                   false, SimTime::zero());
+  // The far tuple was never a member: its erase is silent.
+  bus.notify_space(SC::kErased, GradientTuple::kTag, far, NodeId{}, false,
+                   SimTime::zero());
+  // Re-enter, then erase → added, removed.
+  bus.notify_space(SC::kReplaced, GradientTuple::kTag, nearer, NodeId{},
+                   false, SimTime::zero());
+  bus.notify_space(SC::kErased, GradientTuple::kTag, nearer, NodeId{}, false,
+                   SimTime::zero());
+
+  using K = QueryDelta::Kind;
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log[0], (std::pair{K::kAdded, std::uint64_t{1}}));
+  EXPECT_EQ(log[1], (std::pair{K::kUpdated, std::uint64_t{1}}));
+  EXPECT_EQ(log[2], (std::pair{K::kRemoved, std::uint64_t{1}}));
+  EXPECT_EQ(log[3], (std::pair{K::kAdded, std::uint64_t{1}}));
+  EXPECT_EQ(log[4], (std::pair{K::kRemoved, std::uint64_t{1}}));
+}
+
+TEST(ContinuousQueryTest, TypeBucketsSkipForeignTags) {
+  obs::MetricsRegistry registry;
+  EventBus bus;
+  bus.bind_metrics(registry);
+  bus.subscribe_query(Pattern::of_type(GradientTuple::kTag),
+                      [](const QueryDelta&) {});
+
+  const PresenceTuple presence(NodeId{7}, true);
+  bus.notify_space(EventBus::SpaceChange::kStored, PresenceTuple::kTag,
+                   presence, NodeId{}, false, SimTime::zero());
+  // A typed query is never evaluated against a foreign tag.
+  EXPECT_EQ(registry.get("bus.cq.evals"), 0);
+
+  const auto g = make_member(1, "a", 0);
+  bus.notify_space(EventBus::SpaceChange::kStored, GradientTuple::kTag, g,
+                   NodeId{}, false, SimTime::zero());
+  EXPECT_EQ(registry.get("bus.cq.evals"), 1);
+  EXPECT_EQ(registry.get("bus.cq.added"), 1);
+}
+
+TEST(ContinuousQueryTest, AcceptFilterGatesMembership) {
+  EventBus bus;
+  int added = 0;
+  bus.subscribe_query(
+      Pattern{}, [&](const QueryDelta& d) {
+        if (d.kind == QueryDelta::Kind::kAdded) ++added;
+      },
+      [](const Tuple& t) { return t.uid().sequence() != 2; });
+  const auto ok = make_member(1, "a", 0);
+  const auto denied = make_member(2, "a", 0);
+  bus.notify_space(EventBus::SpaceChange::kStored, GradientTuple::kTag, ok,
+                   NodeId{}, false, SimTime::zero());
+  bus.notify_space(EventBus::SpaceChange::kStored, GradientTuple::kTag,
+                   denied, NodeId{}, false, SimTime::zero());
+  EXPECT_EQ(added, 1);
+}
+
+TEST(ContinuousQueryTest, MetaConstraintsApplyToChanges) {
+  EventBus bus;
+  std::vector<QueryDelta::Kind> kinds;
+  Pattern p;
+  p.propagated_only();
+  bus.subscribe_query(
+      p, [&](const QueryDelta& d) { kinds.push_back(d.kind); });
+  const auto g = make_member(1, "a", 1);
+  using SC = EventBus::SpaceChange;
+  bus.notify_space(SC::kStored, GradientTuple::kTag, g, NodeId{2},
+                   /*propagated=*/false, SimTime::zero());
+  EXPECT_TRUE(kinds.empty());
+  // The same uid arriving as a propagated replica enters the set.
+  bus.notify_space(SC::kReplaced, GradientTuple::kTag, g, NodeId{2},
+                   /*propagated=*/true, SimTime::zero());
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], QueryDelta::Kind::kAdded);
+}
+
+TEST(ContinuousQueryTest, SeedReplaysStoredReplicas) {
+  EventBus bus;
+  int added = 0;
+  const auto id = bus.subscribe_query(
+      Pattern::of_type(GradientTuple::kTag), [&](const QueryDelta& d) {
+        if (d.kind == QueryDelta::Kind::kAdded) ++added;
+      });
+  const auto g = make_member(1, "a", 0);
+  bus.seed_query(id, GradientTuple::kTag, g, NodeId{}, false,
+                 SimTime::zero());
+  EXPECT_EQ(added, 1);
+  // Seeding an already-member uid is idempotent (kUpdated, not kAdded).
+  bus.seed_query(id, GradientTuple::kTag, g, NodeId{}, false,
+                 SimTime::zero());
+  EXPECT_EQ(added, 1);
+}
+
+TEST(ContinuousQueryTest, CallbackMayUnsubscribeItself) {
+  EventBus bus;
+  int fired = 0;
+  QueryId id = 0;
+  id = bus.subscribe_query(Pattern{}, [&](const QueryDelta&) {
+    ++fired;
+    bus.unsubscribe_query(id);
+  });
+  const auto g = make_member(1, "a", 0);
+  bus.notify_space(EventBus::SpaceChange::kStored, GradientTuple::kTag, g,
+                   NodeId{}, false, SimTime::zero());
+  bus.notify_space(EventBus::SpaceChange::kErased, GradientTuple::kTag, g,
+                   NodeId{}, false, SimTime::zero());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(bus.query_count(), 0u);
+}
+
+TEST(ContinuousQueryTest, BoundMetricsCountDeltasByKind) {
+  obs::MetricsRegistry registry;
+  EventBus bus;
+  bus.bind_metrics(registry);
+  bus.subscribe_query(Pattern{}, [](const QueryDelta&) {});
+  const auto g = make_member(1, "a", 0);
+  using SC = EventBus::SpaceChange;
+  bus.notify_space(SC::kStored, GradientTuple::kTag, g, NodeId{}, false,
+                   SimTime::zero());
+  bus.notify_space(SC::kReplaced, GradientTuple::kTag, g, NodeId{}, false,
+                   SimTime::zero());
+  bus.notify_space(SC::kErased, GradientTuple::kTag, g, NodeId{}, false,
+                   SimTime::zero());
+  EXPECT_EQ(registry.get("bus.cq.evals"), 3);
+  EXPECT_EQ(registry.get("bus.cq.added"), 1);
+  EXPECT_EQ(registry.get("bus.cq.updated"), 1);
+  EXPECT_EQ(registry.get("bus.cq.removed"), 1);
+}
+
+TEST(ContinuousQueryTest, UnsubscribeByEquivalentPredicatePattern) {
+  // The satellite-1 regression at the bus level: unsubscribe(template)
+  // must find subscriptions whose patterns carry predicate ASTs.
+  EventBus bus;
+  int fired = 0;
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  p.where("hopcount", Pred::between(0, 3));
+  bus.subscribe(p, [&](const Event&) { ++fired; });
+
+  Pattern same = Pattern::of_type(GradientTuple::kTag);
+  same.where("hopcount", Pred::between(0, 3));
+  bus.unsubscribe(same);
+  const auto tuple = make_gradient("a");
+  bus.publish({EventKind::kTupleArrived, &tuple, SimTime::zero()});
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(bus.subscription_count(), 0u);
+}
+
 TEST(PresenceTupleTest, EncodesNeighborAndDirection) {
   const PresenceTuple up(NodeId{7}, true);
   EXPECT_EQ(up.neighbor(), NodeId{7});

@@ -134,6 +134,116 @@ TEST_F(MiddlewareTest, EventSubscriptionSeesRemovals) {
   EXPECT_EQ(removed, 0);
 }
 
+// --- continuous queries (docs/QUERY.md) --------------------------------------
+
+TEST_F(MiddlewareTest, SubscribeQueryReplaysExistingMatchesThenTracks) {
+  mw_.inject(std::make_unique<GradientTuple>("a"));
+  mw_.inject(std::make_unique<GradientTuple>("b"));
+  std::vector<std::pair<QueryDelta::Kind, std::string>> log;
+  Pattern p = Pattern::of_type(GradientTuple::kTag);
+  mw_.subscribe_query(p, [&](const QueryDelta& d) {
+    log.emplace_back(d.kind, d.tuple->content().at("name").as_string());
+  });
+  // Registration replayed the stored matches, in uid order.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair{QueryDelta::Kind::kAdded, std::string{"a"}}));
+  EXPECT_EQ(log[1], (std::pair{QueryDelta::Kind::kAdded, std::string{"b"}}));
+
+  // From then on, every store change maintains the set incrementally.
+  mw_.inject(std::make_unique<GradientTuple>("c"));
+  Pattern take_a;
+  take_a.eq("name", "a");
+  mw_.take(take_a);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], (std::pair{QueryDelta::Kind::kAdded, std::string{"c"}}));
+  EXPECT_EQ(log[3],
+            (std::pair{QueryDelta::Kind::kRemoved, std::string{"a"}}));
+}
+
+TEST_F(MiddlewareTest, UnsubscribeQueryStopsDeltas) {
+  int fired = 0;
+  const auto id =
+      mw_.subscribe_query(Pattern{}, [&](const QueryDelta&) { ++fired; });
+  mw_.unsubscribe_query(id);
+  mw_.inject(std::make_unique<GradientTuple>("x"));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(MiddlewareTest, PredicateQueriesTrackFieldChanges) {
+  std::vector<QueryDelta::Kind> kinds;
+  Pattern near = Pattern::of_type(GradientTuple::kTag);
+  near.where("hopcount", Pred::le(2));
+  mw_.subscribe_query(near,
+                      [&](const QueryDelta& d) { kinds.push_back(d.kind); });
+
+  // A far copy arrives first (outside the predicate, silent); the shorter
+  // path supersedes it, and the replacement enters the result set.
+  GradientTuple remote("f");
+  remote.set_uid(TupleUid{NodeId{7}, 3});
+  remote.set_hop(4);
+  remote.content().set("source", NodeId{7}).set("hopcount", 4);
+  wire::Writer w1;
+  w1.u8(1);
+  remote.encode(w1);
+  mw_.on_datagram(NodeId{7}, w1.bytes());
+  EXPECT_TRUE(kinds.empty());
+
+  remote.set_hop(0);
+  remote.content().set("hopcount", 0);
+  wire::Writer w2;
+  w2.u8(1);
+  remote.encode(w2);
+  mw_.on_datagram(NodeId{8}, w2.bytes());
+
+  mw_.take(Pattern::of_type(GradientTuple::kTag));
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], QueryDelta::Kind::kAdded);
+  EXPECT_EQ(kinds[1], QueryDelta::Kind::kRemoved);
+}
+
+// --- access filtering (read + continuous queries) ----------------------------
+
+TEST_F(MiddlewareTest, ReadFiltersTuplesThisNodeMayNotObserve) {
+  // A private marker from node 7: hosted here, invisible to read().
+  GradientTuple secret("s");
+  secret.set_uid(TupleUid{NodeId{7}, 1});
+  secret.set_hop(1);
+  secret.set_access(AccessPolicy::private_to_owner());
+  wire::Writer w;
+  w.u8(1);
+  secret.encode(w);
+  mw_.on_datagram(NodeId{7}, w.bytes());
+  ASSERT_EQ(mw_.space().size(), 1u);  // hosted…
+  EXPECT_TRUE(mw_.read(Pattern{}).empty());  // …but not observable
+  EXPECT_EQ(mw_.read_one(Pattern{}), nullptr);
+}
+
+TEST_F(MiddlewareTest, ContinuousQueriesNeverAdmitUnobservableTuples) {
+  int fired = 0;
+  mw_.subscribe_query(Pattern{}, [&](const QueryDelta&) { ++fired; });
+
+  GradientTuple secret("s");
+  secret.set_uid(TupleUid{NodeId{7}, 1});
+  secret.set_hop(1);
+  secret.set_access(AccessPolicy::private_to_owner());
+  wire::Writer w;
+  w.u8(1);
+  secret.encode(w);
+  mw_.on_datagram(NodeId{7}, w.bytes());
+  EXPECT_EQ(mw_.space().size(), 1u);
+  EXPECT_EQ(fired, 0);
+
+  // An open tuple from the same node flows through normally.
+  GradientTuple open("o");
+  open.set_uid(TupleUid{NodeId{7}, 2});
+  open.set_hop(1);
+  wire::Writer w2;
+  w2.u8(1);
+  open.encode(w2);
+  mw_.on_datagram(NodeId{7}, w2.bytes());
+  EXPECT_EQ(fired, 1);
+}
+
 TEST_F(MiddlewareTest, SelfAndPlatformAccessors) {
   EXPECT_EQ(mw_.self(), NodeId{1});
   EXPECT_EQ(&mw_.platform(), &platform_);

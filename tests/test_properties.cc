@@ -10,9 +10,19 @@
 //  P4  Broadcast economy: a single flood costs exactly one transmission
 //      per reached node (the multicast-socket property the paper relies
 //      on for "really simple devices").
+//  P9  Planner soundness: every compiled query plan returns exactly what
+//      a naive full scan with the direct matcher returns, across random
+//      store churn and patterns exercising every access path.
+//  P10 Continuous-query soundness: the incrementally maintained result
+//      set of a standing query always equals re-running the query from
+//      scratch.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "emu/world.h"
+#include "tota/tuple_space.h"
 #include "tuples/all.h"
 
 namespace tota {
@@ -366,6 +376,174 @@ TEST_P(HealthProperty, NoDecodeFailuresUnderChurnAndMobility) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HealthProperty,
                          ::testing::Values(301, 302, 303, 304));
+
+// --- P9: compiled plans ≡ naive full scan -------------------------------------
+
+/// Random store mutation shared by P9/P10: puts (inserts & replaces,
+/// including parent moves and tag changes), and erases.
+void random_space_op(Rng& rng, TupleSpace& space) {
+  const TupleUid uid{NodeId{1 + rng.below(8)}, 1 + rng.below(6)};
+  const auto roll = rng.below(4);
+  if (roll == 3 && space.find(uid) != nullptr) {
+    space.erase(uid);
+    return;
+  }
+  std::unique_ptr<Tuple> t;
+  if (rng.chance(0.8)) {
+    auto g = std::make_unique<GradientTuple>(
+        "f" + std::to_string(rng.below(3)));
+    g->content()
+        .set("source", uid.origin())
+        .set("hopcount", static_cast<std::int64_t>(rng.below(10)));
+    t = std::move(g);
+  } else {
+    t = std::make_unique<MessageTuple>(NodeId{1 + rng.below(8)}, "m");
+  }
+  t->set_uid(uid);
+  space.put(std::move(t), NodeId{rng.below(4)}, rng.chance(0.3),
+            SimTime::zero());
+}
+
+/// Patterns covering every access path: full scan, type bucket, parent
+/// bucket, propagated set, and residual predicates on top of each.
+std::vector<Pattern> probe_patterns(Rng& rng) {
+  std::vector<Pattern> out;
+  out.emplace_back();  // match-all full scan
+  out.push_back(Pattern::of_type(GradientTuple::kTag));
+  out.push_back(Pattern::of_type(MessageTuple::kTag));
+  {
+    Pattern p = Pattern::of_type(GradientTuple::kTag);
+    p.eq("name", "f" + std::to_string(rng.below(3)));
+    out.push_back(std::move(p));
+  }
+  {
+    Pattern p;
+    p.where("hopcount",
+            Pred::between(static_cast<std::int64_t>(rng.below(4)),
+                          static_cast<std::int64_t>(4 + rng.below(6))));
+    out.push_back(std::move(p));
+  }
+  {
+    Pattern p;
+    p.from_parent(NodeId{rng.below(4)});
+    out.push_back(std::move(p));
+  }
+  {
+    Pattern p = Pattern::of_type(GradientTuple::kTag);
+    p.from_parent(NodeId{rng.below(4)})
+        .where("hopcount", Pred::le(static_cast<std::int64_t>(rng.below(8))));
+    out.push_back(std::move(p));
+  }
+  {
+    Pattern p;
+    p.propagated_only(rng.chance(0.5));
+    out.push_back(std::move(p));
+  }
+  {
+    Pattern p = Pattern::of_type(GradientTuple::kTag);
+    p.propagated_only().where(
+        "name", Pred::any_of({wire::Value{"f0"}, wire::Value{"f1"}}));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// The oracle: a naive full scan applying the direct matcher, bypassing
+/// planner and indexes entirely.
+std::vector<TupleUid> naive_matches(const TupleSpace& space,
+                                    const Pattern& pattern) {
+  std::vector<TupleUid> uids;
+  space.for_each([&](const TupleSpace::Entry& e) {
+    if (pattern.matches(*e.tuple) &&
+        pattern.matches_meta(e.parent, e.propagated)) {
+      uids.push_back(e.tuple->uid());
+    }
+  });
+  return uids;
+}
+
+class PlannerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerProperty, CompiledPlansEqualNaiveFullScan) {
+  tuples::register_standard_tuples();
+  Rng rng(GetParam());
+  TupleSpace space;
+  for (int op = 0; op < 2000; ++op) {
+    random_space_op(rng, space);
+    if (op % 40 != 0) continue;
+    for (const Pattern& pattern : probe_patterns(rng)) {
+      std::vector<TupleUid> planned;
+      for (const Tuple* t : space.peek(pattern)) {
+        planned.push_back(t->uid());
+      }
+      EXPECT_EQ(planned, naive_matches(space, pattern))
+          << "op " << op << " pattern " << pattern.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty,
+                         ::testing::Values(401, 402, 403));
+
+// --- P10: continuous queries ≡ re-running the query ---------------------------
+
+class ContinuousQueryProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContinuousQueryProperty, IncrementalSetsEqualFullRequery) {
+  tuples::register_standard_tuples();
+  Rng rng(GetParam());
+  TupleSpace space;
+  EventBus bus;
+  // Wire the store to the bus exactly as Middleware does.
+  space.set_listener([&](TupleSpace::ChangeKind kind,
+                         const TupleSpace::Entry& entry) {
+    EventBus::SpaceChange change = EventBus::SpaceChange::kStored;
+    if (kind == TupleSpace::ChangeKind::kReplaced) {
+      change = EventBus::SpaceChange::kReplaced;
+    } else if (kind == TupleSpace::ChangeKind::kErased) {
+      change = EventBus::SpaceChange::kErased;
+    }
+    bus.notify_space(change, entry.type_tag, *entry.tuple, entry.parent,
+                     entry.propagated, SimTime::zero());
+  });
+
+  // Standing queries across all access paths; each mirrors its deltas
+  // into a shadow set the oracle is compared against.
+  Rng pattern_rng(GetParam() * 7 + 1);
+  std::vector<Pattern> patterns = probe_patterns(pattern_rng);
+  std::vector<std::set<TupleUid>> shadows(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    auto* shadow = &shadows[i];
+    bus.subscribe_query(patterns[i], [shadow](const QueryDelta& d) {
+      switch (d.kind) {
+        case QueryDelta::Kind::kAdded:
+          EXPECT_TRUE(shadow->insert(d.tuple->uid()).second);
+          break;
+        case QueryDelta::Kind::kUpdated:
+          EXPECT_TRUE(shadow->contains(d.tuple->uid()));
+          break;
+        case QueryDelta::Kind::kRemoved:
+          EXPECT_EQ(shadow->erase(d.tuple->uid()), 1u);
+          break;
+      }
+    });
+  }
+
+  for (int op = 0; op < 2000; ++op) {
+    random_space_op(rng, space);
+    if (op % 40 != 0) continue;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      const auto requeried = naive_matches(space, patterns[i]);
+      const std::set<TupleUid> expected(requeried.begin(), requeried.end());
+      EXPECT_EQ(shadows[i], expected)
+          << "op " << op << " pattern " << patterns[i].str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousQueryProperty,
+                         ::testing::Values(501, 502, 503));
 
 }  // namespace
 }  // namespace tota

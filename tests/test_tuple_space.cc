@@ -1,9 +1,10 @@
-// Unit tests for the local tuple space.
+// Unit tests for the local tuple space and its query planner.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "common/rng.h"
+#include "tota/query.h"
 #include "tota/tuple_space.h"
 #include "tuples/all.h"
 
@@ -210,6 +211,188 @@ TEST_F(TupleSpaceTest, BoundMetricsCountIndexedAndScanQueries) {
   (void)space_.peek(Pattern::of_type(tuples::MessageTuple::kTag));
   EXPECT_EQ(registry.get("space.query.indexed"), 2);
   EXPECT_EQ(registry.get("space.query.candidates"), 4);
+}
+
+TEST_F(TupleSpaceTest, PlannerPicksMostSelectivePath) {
+  // Ten gradients under parent 9, two under parent 8; one propagated.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    space_.put(make_tuple(NodeId{i}, 1, "a", 1), NodeId{9}, false,
+               SimTime::zero());
+  }
+  space_.put(make_tuple(NodeId{11}, 1, "b", 1), NodeId{8}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{12}, 1, "b", 1), NodeId{8}, false,
+             SimTime::zero());
+
+  // Typed, no metadata: the type bucket (all 12 entries).
+  {
+    const auto plan =
+        query::compile(Pattern::of_type(GradientTuple::kTag), space_);
+    EXPECT_EQ(plan.path, query::AccessPath::kTypeIndex);
+    EXPECT_EQ(plan.candidates, 12u);
+    EXPECT_FALSE(plan.residual());
+  }
+  // Typed + parent: the 2-entry parent bucket beats the 12-entry type
+  // bucket; the type constraint becomes residual.
+  {
+    Pattern p = Pattern::of_type(GradientTuple::kTag);
+    p.from_parent(NodeId{8});
+    const auto plan = query::compile(p, space_);
+    EXPECT_EQ(plan.path, query::AccessPath::kParentIndex);
+    EXPECT_EQ(plan.candidates, 2u);
+    EXPECT_TRUE(plan.check_type);
+    EXPECT_FALSE(plan.check_parent);
+  }
+  // Propagated-only: the 1-entry propagated set wins outright.
+  {
+    Pattern p;
+    p.propagated_only();
+    const auto plan = query::compile(p, space_);
+    EXPECT_EQ(plan.path, query::AccessPath::kPropagatedIndex);
+    EXPECT_EQ(plan.candidates, 1u);
+    EXPECT_FALSE(plan.check_propagated);
+  }
+  // propagated==false has no index: full scan with a residual check.
+  {
+    Pattern p;
+    p.propagated_only(false);
+    const auto plan = query::compile(p, space_);
+    EXPECT_EQ(plan.path, query::AccessPath::kFullScan);
+    EXPECT_TRUE(plan.check_propagated);
+  }
+  // Untyped field-only pattern: full scan, fields residual.
+  {
+    Pattern p;
+    p.eq("name", "a");
+    const auto plan = query::compile(p, space_);
+    EXPECT_EQ(plan.path, query::AccessPath::kFullScan);
+    EXPECT_TRUE(plan.check_fields);
+  }
+}
+
+TEST_F(TupleSpaceTest, MetaConstrainedQueriesUseIndexes) {
+  space_.put(make_tuple(NodeId{1}, 1, "a", 1), NodeId{9}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "b", 1), NodeId{9}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{3}, 1, "c", 1), NodeId{8}, true,
+             SimTime::zero());
+
+  Pattern from9;
+  from9.from_parent(NodeId{9});
+  auto results = space_.read(from9);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0]->uid().origin(), NodeId{1});
+  EXPECT_EQ(results[1]->uid().origin(), NodeId{2});
+
+  Pattern prop;
+  prop.propagated_only();
+  results = space_.read(prop);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0]->uid().origin(), NodeId{1});
+  EXPECT_EQ(results[1]->uid().origin(), NodeId{3});
+
+  Pattern both;
+  both.from_parent(NodeId{9}).propagated_only().eq("name", "a");
+  results = space_.read(both);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0]->uid().origin(), NodeId{1});
+}
+
+TEST_F(TupleSpaceTest, PlanCountersRecordPathAndResidual) {
+  obs::MetricsRegistry registry;
+  space_.bind_metrics(registry);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    space_.put(make_tuple(NodeId{i}, 1, i <= 2 ? "a" : "b", 1),
+               i <= 2 ? NodeId{9} : NodeId{8}, i == 1, SimTime::zero());
+  }
+
+  Pattern typed = Pattern::of_type(GradientTuple::kTag);
+  typed.eq("name", "a");
+  (void)space_.peek(typed);
+  EXPECT_EQ(registry.get("space.plan.type_index"), 1);
+  EXPECT_EQ(registry.get("space.plan.candidates"), 4);
+  EXPECT_EQ(registry.get("space.plan.residual_evals"), 4);
+
+  Pattern parent;
+  parent.from_parent(NodeId{9});
+  (void)space_.peek(parent);
+  EXPECT_EQ(registry.get("space.plan.parent_index"), 1);
+  // No field constraints: nothing reached residual evaluation.
+  EXPECT_EQ(registry.get("space.plan.residual_evals"), 4);
+
+  (void)space_.peek(Pattern{});
+  EXPECT_EQ(registry.get("space.plan.full_scan"), 1);
+  // Legacy counters keep their historical meaning alongside.
+  EXPECT_EQ(registry.get("space.query.indexed"), 2);
+  EXPECT_EQ(registry.get("space.query.scan"), 1);
+}
+
+TEST_F(TupleSpaceTest, FilteredReadNeverMaterializesDeniedAndKeepsCounters) {
+  obs::MetricsRegistry registry;
+  space_.bind_metrics(registry);
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{2}, 1, "a", 0), NodeId{}, true,
+             SimTime::zero());
+
+  const auto unfiltered = space_.read(Pattern{});
+  const auto scan = registry.get("space.query.scan");
+  const auto candidates = registry.get("space.query.candidates");
+  const auto matches = registry.get("space.query.matches");
+
+  // The filter sees only pattern matches; rejected ones are not cloned.
+  std::size_t accept_calls = 0;
+  const auto filtered = space_.read(Pattern{}, [&](const Tuple& t) {
+    ++accept_calls;
+    return t.uid().origin() == NodeId{2};
+  });
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0]->uid().origin(), NodeId{2});
+  EXPECT_EQ(accept_calls, 2u);
+  EXPECT_EQ(unfiltered.size(), 2u);
+
+  // space.query.* counters are identical to the unfiltered read's: the
+  // access filter is invisible to pattern-level accounting.
+  EXPECT_EQ(registry.get("space.query.scan") - scan, scan);
+  EXPECT_EQ(registry.get("space.query.candidates") - candidates, candidates);
+  EXPECT_EQ(registry.get("space.query.matches") - matches, matches);
+}
+
+TEST_F(TupleSpaceTest, ListenerSeesInsertReplaceErase) {
+  std::vector<std::pair<TupleSpace::ChangeKind, std::uint64_t>> log;
+  space_.set_listener(
+      [&](TupleSpace::ChangeKind kind, const TupleSpace::Entry& entry) {
+        log.emplace_back(kind, entry.tuple->uid().origin().value());
+      });
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  space_.put(make_tuple(NodeId{1}, 1, "a", 1), NodeId{2}, false,
+             SimTime::zero());
+  space_.erase(TupleUid{NodeId{1}, 1});
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, TupleSpace::ChangeKind::kInserted);
+  EXPECT_EQ(log[1].first, TupleSpace::ChangeKind::kReplaced);
+  EXPECT_EQ(log[2].first, TupleSpace::ChangeKind::kErased);
+}
+
+TEST_F(TupleSpaceTest, ListenerSplitsTagChangingReplaceIntoEraseInsert) {
+  // A replacement that changes the type tag must read as erase+insert so
+  // type-bucketed continuous queries drop the old member.
+  std::vector<TupleSpace::ChangeKind> kinds;
+  space_.set_listener(
+      [&](TupleSpace::ChangeKind kind, const TupleSpace::Entry&) {
+        kinds.push_back(kind);
+      });
+  space_.put(make_tuple(NodeId{1}, 1, "a", 0), NodeId{}, false,
+             SimTime::zero());
+  auto msg = std::make_unique<tuples::MessageTuple>();
+  msg->set_uid(TupleUid{NodeId{1}, 1});
+  space_.put(std::move(msg), NodeId{}, false, SimTime::zero());
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], TupleSpace::ChangeKind::kInserted);
+  EXPECT_EQ(kinds[1], TupleSpace::ChangeKind::kErased);
+  EXPECT_EQ(kinds[2], TupleSpace::ChangeKind::kInserted);
 }
 
 // Property: every indexed query returns bit-for-bit what a naive

@@ -115,6 +115,42 @@ TEST_F(TuplesTest, QueryExposesHome) {
   EXPECT_EQ(q.scope(), 10);
 }
 
+TEST_F(TuplesTest, QueryPredicateSurvivesWireRoundTrip) {
+  // A query can carry a full Pattern (docs/QUERY.md): the predicate is
+  // encoded into the content, so it rides the normal tuple codec to
+  // remote nodes and decodes back to an equivalent pattern.
+  QueryTuple q("fuel", 6);
+  q.set_uid(TupleUid{NodeId{3}, 7});
+  Pattern wanted = Pattern::of_type(AdvertTuple::kTag);
+  wanted.eq("name", "gas station")
+      .where("distance", Pred::le(4));
+  q.with_predicate(wanted);
+  ASSERT_TRUE(q.has_predicate());
+
+  wire::Writer w;
+  q.encode(w);
+  wire::Reader r(w.bytes());
+  const auto decoded = Tuple::decode(r);
+  r.expect_done();
+  auto& remote = static_cast<QueryTuple&>(*decoded);
+  ASSERT_TRUE(remote.has_predicate());
+  const auto back = remote.predicate();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->equivalent(wanted));
+
+  AdvertTuple close("gas station");
+  close.change_content(ctx(2, Vec2{0, 0}));
+  AdvertTuple far("gas station");
+  far.change_content(ctx(9, Vec2{0, 0}));
+  EXPECT_TRUE(back->matches(close));
+  EXPECT_FALSE(back->matches(far));
+
+  // A plain query has no predicate, and asking is cheap and safe.
+  QueryTuple bare("fuel");
+  EXPECT_FALSE(bare.has_predicate());
+  EXPECT_EQ(bare.predicate(), std::nullopt);
+}
+
 // --- MessageTuple routing decisions --------------------------------------
 
 class MessageTest : public TuplesTest {
