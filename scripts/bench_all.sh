@@ -39,8 +39,8 @@ echo "== bench_all: Release build =="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)" --target \
   bench_micro bench_fig1_gradient bench_fig3_flocking bench_sec51_routing \
-  bench_sec52_gathering bench_sec6_maintenance bench_ablations bench_scale \
-  bench_soak
+  bench_sec52_gathering bench_sec6_maintenance bench_ablations \
+  bench_aggregation bench_scale bench_soak
 
 mkdir -p "$OUT"
 OUT=$(cd "$OUT" && pwd)
@@ -48,17 +48,25 @@ BUILD=$(cd "$BUILD" && pwd)
 
 echo "== bench_all: running benches (artefacts -> $OUT) =="
 failed=0
+summary=""
 for bin in "$BUILD"/bench/bench_*; do
   [[ -x "$bin" && ! -d "$bin" ]] || continue
   name=$(basename "$bin")
   echo "-- $name"
   # Each binary writes its BENCH_<name>.json into the working directory;
   # run them all from $OUT so the artefacts collect in one place.
+  start=$SECONDS
   if ! (cd "$OUT" && "$bin" >"$OUT/$name.log" 2>&1); then
     echo "   FAILED (see $OUT/$name.log)" >&2
     failed=1
   fi
+  # Per-bench wall time in the summary so a slow-bench regression is
+  # visible straight from the CI log.
+  summary+=$(printf '%-28s %4ds' "$name" $((SECONDS - start)))$'\n'
 done
+
+echo "== bench_all: elapsed per bench =="
+printf '%s' "$summary"
 
 echo "== bench_all: artefacts =="
 ls -l "$OUT"/BENCH_*.json 2>/dev/null || echo "(no BENCH_*.json produced)" >&2

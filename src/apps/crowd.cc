@@ -96,4 +96,17 @@ void CrowdNavigator::control_step() {
   steer_(force * params_.gain_mps);
 }
 
+TupleUid CrowdDensity::measure(int within_hops, SimTime half_life) {
+  // Count each visitor exactly once: only the replica at the visitor's
+  // own node reads hopcount 0.
+  Pattern visitors = Pattern::of_type(tuples::GradientTuple::kTag);
+  visitors.eq("name", CrowdNavigator::kPresenceField)
+      .where("hopcount", Pred::eq(0));
+  auto census = std::make_unique<tuples::AggregationTuple>(
+      kDensityField, tuples::AggOp::kCount, within_hops);
+  census->matching(visitors);
+  if (half_life.micros() > 0) census->with_half_life(half_life);
+  return agg_.ask(std::move(census));
+}
+
 }  // namespace tota::apps

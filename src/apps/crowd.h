@@ -17,9 +17,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "tota/middleware.h"
+#include "tuples/aggregator.h"
 #include "tuples/gradient_tuple.h"
 
 namespace tota::apps {
@@ -73,6 +76,41 @@ class CrowdNavigator {
   Steer steer_;
   bool running_ = false;
   bool started_ = false;
+};
+
+/// The museum's side of the crowd scenario: "how many visitors are in the
+/// building (or within N hops of this kiosk) right now?"  Counts the
+/// CrowdNavigator presence fields in-network — each visitor's presence
+/// replica reads hopcount 0 exactly at the visitor's own node, so the
+/// contribution pattern `hopcount == 0` counts every visitor once no
+/// matter how far its field spreads.  Answers flow along the aggregation
+/// tree (docs/AGGREGATION.md) instead of one report per visitor per
+/// reading reaching the kiosk.
+///
+/// Instantiate one per participating node; call measure() at the kiosk.
+class CrowdDensity {
+ public:
+  static constexpr const char* kDensityField = "crowd-density";
+
+  explicit CrowdDensity(Middleware& mw, tuples::AggregatorOptions opts = {})
+      : agg_(mw, opts) {}
+
+  /// Starts the census from this node (the sink).  `within_hops` bounds
+  /// the counted region; a non-zero `half_life` makes stale presence fade
+  /// instead of requiring explicit departure.
+  TupleUid measure(int within_hops = tuples::FieldTuple::kUnbounded,
+                   SimTime half_life = SimTime::zero());
+
+  /// Visitors currently counted at this node's subtree (the whole region
+  /// at the kiosk); nullopt when not (yet) part of the census tree.
+  [[nodiscard]] std::optional<double> density() const {
+    return agg_.result(kDensityField);
+  }
+
+  [[nodiscard]] tuples::Aggregator& aggregator() { return agg_; }
+
+ private:
+  tuples::Aggregator agg_;
 };
 
 }  // namespace tota::apps

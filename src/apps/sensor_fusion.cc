@@ -1,0 +1,30 @@
+#include "apps/sensor_fusion.h"
+
+namespace tota::apps {
+
+void SensorFusion::publish_reading(double temp) {
+  clear_reading();
+  // Scope 0: the reading lives only on this node; the aggregation tree,
+  // not the reading, is what travels.
+  auto reading = std::make_unique<tuples::GradientTuple>(kReadingField, 0);
+  reading->content().set("temp", temp);
+  mw_.inject(std::move(reading));
+}
+
+void SensorFusion::clear_reading() {
+  Pattern mine = Pattern::of_type(tuples::GradientTuple::kTag);
+  mine.eq("name", kReadingField).where("source", Pred::eq(mw_.self()));
+  mw_.take(mine);
+}
+
+TupleUid SensorFusion::query_average(int within_hops, SimTime half_life) {
+  Pattern readings = Pattern::of_type(tuples::GradientTuple::kTag);
+  readings.eq("name", kReadingField).exists("temp");
+  auto fusion = std::make_unique<tuples::AggregationTuple>(
+      kFusionField, tuples::AggOp::kAvg, within_hops);
+  fusion->over("temp").matching(readings);
+  if (half_life.micros() > 0) fusion->with_half_life(half_life);
+  return agg_.ask(std::move(fusion));
+}
+
+}  // namespace tota::apps

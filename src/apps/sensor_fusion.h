@@ -1,0 +1,69 @@
+// Sensor fusion over the air — "what is the average temperature within
+// 3 hops of me?" without collecting one reading per sensor at the
+// enquirer.
+//
+// Each sensor node keeps its latest reading as a *local* tuple (a
+// scope-0 GradientTuple named kReadingField carrying a `temp` field) —
+// readings never propagate on their own.  An enquirer injects a
+// predicate AggregationTuple (a QueryTuple subtype, paper §5.2's "query
+// tuples create a structure to be used by answer tuples to reach the
+// enquiring device"): its hop field is both the interest scope and the
+// fold tree, its predicate selects the reading tuples, and the answers
+// are O(depth) partial-aggregate reports instead of O(sensors) raw
+// readings (tuples/agg_tuple.h, docs/AGGREGATION.md).
+//
+// Instantiate one SensorFusion per node; sensors call publish_reading(),
+// the enquirer calls query_average() and polls average().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "tota/middleware.h"
+#include "tuples/aggregator.h"
+#include "tuples/gradient_tuple.h"
+
+namespace tota::apps {
+
+class SensorFusion {
+ public:
+  /// Name of the local reading tuples sensors keep.
+  static constexpr const char* kReadingField = "sensor-reading";
+  /// Name of the fusion query field (the AggregationTuple).
+  static constexpr const char* kFusionField = "avg-temp";
+
+  explicit SensorFusion(Middleware& mw, tuples::AggregatorOptions opts = {})
+      : mw_(mw), agg_(mw, opts) {}
+
+  /// Replaces this node's reading with `temp` — the fusion trees pick the
+  /// change up from the tuple-space change stream and re-fold.
+  void publish_reading(double temp);
+
+  /// Drops this node's reading (sensor going quiet).
+  void clear_reading();
+
+  /// Asks "average temp within `within_hops` of here" from this node
+  /// (the sink).  A non-zero `half_life` ages readings out of the answer
+  /// as they go stale.
+  TupleUid query_average(int within_hops,
+                         SimTime half_life = SimTime::zero());
+
+  /// The fused answer at the sink; nullopt while no reading has been
+  /// folded (or this node is outside every fusion tree).
+  [[nodiscard]] std::optional<double> average() const {
+    return agg_.result(kFusionField);
+  }
+
+  [[nodiscard]] std::optional<tuples::AggSummary> summary() const {
+    return agg_.summary(kFusionField);
+  }
+
+  [[nodiscard]] tuples::Aggregator& aggregator() { return agg_; }
+
+ private:
+  Middleware& mw_;
+  tuples::Aggregator agg_;
+};
+
+}  // namespace tota::apps

@@ -95,6 +95,12 @@ class ShardedWorld {
   /// Teleports a node (the scripted churn primitive).
   void move_node(NodeId id, Vec2 position) { sim_.move_node(id, position); }
 
+  /// Per-node hardware heterogeneity (net/device_profile.h); quiescent
+  /// points only, tx_delay_scale >= 1.0 when sharded.
+  void set_profile(NodeId id, net::DeviceProfile profile) {
+    sim_.set_profile(id, profile);
+  }
+
   /// Deterministic merged view of every shard's metrics plus the
   /// scheduler's sim.shard.* counters.
   void export_metrics(obs::MetricsRegistry& into) const {

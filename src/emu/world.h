@@ -66,6 +66,11 @@ class World {
 
   [[nodiscard]] Middleware& mw(NodeId id);
   [[nodiscard]] const Middleware& mw(NodeId id) const;
+  /// Per-node hardware heterogeneity (net/device_profile.h): duty cycle,
+  /// MTU, tx latency scale, gateway flag.
+  void set_profile(NodeId id, net::DeviceProfile profile) {
+    net_.set_profile(id, profile);
+  }
   [[nodiscard]] sim::Network& net() { return net_; }
   [[nodiscard]] const sim::Network& net() const { return net_; }
   /// The observability hub this world records into (Options::hub, or

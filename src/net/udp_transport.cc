@@ -32,7 +32,8 @@ UdpTransport::UdpTransport(UdpOptions options, obs::MetricsRegistry& metrics)
       rx_bytes_(metrics.counter("net.udp.rx_bytes")),
       send_err_(metrics.counter("net.udp.send_err")),
       rx_err_(metrics.counter("net.udp.rx_err")),
-      rx_trunc_(metrics.counter("net.udp.rx_trunc")) {}
+      rx_trunc_(metrics.counter("net.udp.rx_trunc")),
+      mtu_drop_(metrics.counter("net.mtu_drop")) {}
 
 UdpTransport::~UdpTransport() { close(); }
 
@@ -140,6 +141,12 @@ void UdpTransport::close() {
 bool UdpTransport::send(std::span<const std::uint8_t> datagram) {
   if (fd_ < 0) {
     send_err_.inc();
+    return false;
+  }
+  if (options_.mtu != 0 && datagram.size() > options_.mtu) {
+    // This device's link layer cannot pass the frame; dropped exactly
+    // like the simulators' per-link MTU cut (net/device_profile.h).
+    mtu_drop_.inc();
     return false;
   }
   const ssize_t n =

@@ -48,6 +48,8 @@ Network::Network(NetworkParams params, obs::Hub* hub)
       radio_lost_(hub_.metrics.counter("radio.lost")),
       link_up_(hub_.metrics.counter("link.up")),
       link_down_(hub_.metrics.counter("link.down")),
+      mtu_drop_(hub_.metrics.counter("net.mtu_drop")),
+      duty_drop_(hub_.metrics.counter("net.duty_drop")),
       frame_codec_(hub_.metrics) {
   if (params_.fault.enabled()) {
     // The fork below is the only extra Rng draw a faulted configuration
@@ -127,6 +129,23 @@ MobilityModel* Network::mobility(NodeId id) {
   return it->second.mobility.get();
 }
 
+void Network::set_profile(NodeId id, net::DeviceProfile profile) {
+  if (nodes_.find(id) == nodes_.end()) {
+    throw std::invalid_argument("unknown node id");
+  }
+  if (profile.is_default()) {
+    profiles_.erase(id);  // keep the no-profile hot path hot
+  } else {
+    profiles_[id] = profile;
+  }
+}
+
+const net::DeviceProfile& Network::profile(NodeId id) const {
+  static const net::DeviceProfile kDefault{};
+  const auto it = profiles_.find(id);
+  return it == profiles_.end() ? kDefault : it->second;
+}
+
 void Network::broadcast(NodeId from, wire::Bytes payload) {
   if (!topology_.contains(from)) return;  // sender died mid-flight
   radio_tx_.inc();
@@ -134,12 +153,34 @@ void Network::broadcast(NodeId from, wire::Bytes payload) {
   const auto receivers = topology_.neighbors(from);
   // One shared payload for all receivers of this frame.
   auto shared = std::make_shared<const wire::Bytes>(std::move(payload));
+  // Device heterogeneity (net/device_profile.h).  Profile checks are
+  // pure functions of time and frame size — no Rng draws — and an
+  // MTU-dropped link skips the loss/latency draws entirely, so a world
+  // with no profiles runs the exact pre-profile Rng stream.
+  const net::DeviceProfile* sender =
+      profiles_.empty() ? nullptr : &profile(from);
   for (const NodeId to : receivers) {
+    if (sender != nullptr) {
+      const std::size_t mtu =
+          net::DeviceProfile::link_mtu(*sender, profile(to));
+      if (mtu != 0 && shared->size() > mtu) {
+        mtu_drop_.inc();
+        continue;
+      }
+    }
     if (!radio_.delivered(rng_)) {
       radio_lost_.inc();
       continue;
     }
-    const SimTime delay = radio_.delay(rng_, shared->size());
+    SimTime delay = radio_.delay(rng_, shared->size());
+    if (sender != nullptr) {
+      if (sender->tx_delay_scale != 1.0) delay = delay * sender->tx_delay_scale;
+      // The receiver's radio must be listening when the frame lands.
+      if (!profile(to).awake_at(events_.now() + delay)) {
+        duty_drop_.inc();
+        continue;
+      }
+    }
     if (fault_ != nullptr) {
       // Adversity layer between the radio model and the receiver: the
       // injector may drop/hold/damage this delivery.  Damaged or

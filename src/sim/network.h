@@ -15,6 +15,7 @@
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/device_profile.h"
 #include "net/fault.h"
 #include "obs/hub.h"
 #include "sim/event_queue.h"
@@ -96,6 +97,16 @@ class Network {
   /// Direct access to a node's mobility model (e.g. WaypointTo::set_target).
   [[nodiscard]] MobilityModel* mobility(NodeId id);
 
+  // --- device heterogeneity ---------------------------------------------
+
+  /// Attaches a hardware profile (net/device_profile.h): duty-cycled
+  /// radio, per-link MTU, tx latency scaling, gateway flag.  Nodes
+  /// without a profile are full-power devices, and a world that never
+  /// sets one takes the pre-profile code path bit-for-bit (same Rng
+  /// stream, same baselines).
+  void set_profile(NodeId id, net::DeviceProfile profile);
+  [[nodiscard]] const net::DeviceProfile& profile(NodeId id) const;
+
   // --- communication ------------------------------------------------------
 
   /// One-hop broadcast from `from` to every node currently in range.
@@ -172,7 +183,13 @@ class Network {
   obs::Counter& radio_lost_;
   obs::Counter& link_up_;
   obs::Counter& link_down_;
+  obs::Counter& mtu_drop_;
+  obs::Counter& duty_drop_;
   wire::FrameCodec frame_codec_;
+  /// Per-node hardware profiles; absent = full-power default.  Kept out
+  /// of NodeState so the "no profiles anywhere" hot path is one empty()
+  /// check.
+  std::unordered_map<NodeId, net::DeviceProfile> profiles_;
   std::unordered_map<NodeId, NodeState> nodes_;
   std::uint64_t next_node_ = 1;
   bool mobility_scheduled_ = false;

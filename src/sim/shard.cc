@@ -17,7 +17,9 @@ ShardedSim::Shard::Shard(std::uint32_t index, std::uint32_t total,
       radio_lost(hub.metrics.counter("radio.lost")),
       link_up(hub.metrics.counter("link.up")),
       link_down(hub.metrics.counter("link.down")),
-      mail_out(hub.metrics.counter("sim.shard.cross_deliveries")) {}
+      mail_out(hub.metrics.counter("sim.shard.cross_deliveries")),
+      mtu_drop(hub.metrics.counter("net.mtu_drop")),
+      duty_drop(hub.metrics.counter("net.duty_drop")) {}
 
 ShardedSim::ShardedSim(ShardedParams params)
     : params_(params),
@@ -152,6 +154,29 @@ void ShardedSim::move_node(NodeId id, Vec2 position) {
   st.neighbors = std::move(fresh);
 }
 
+void ShardedSim::set_profile(NodeId id, net::DeviceProfile profile) {
+  if (id.value() == 0 || id.value() >= next_node_) {
+    throw std::invalid_argument("unknown node id");
+  }
+  if (params_.shards > 1 && profile.tx_delay_scale < 1.0) {
+    // The conservative lookahead is radio.base_delay; a faster-than-
+    // nominal sender could deliver inside it (see docs/SIM.md).
+    throw std::invalid_argument(
+        "sharded simulation needs tx_delay_scale >= 1.0");
+  }
+  if (profile.is_default()) {
+    profiles_.erase(id);
+  } else {
+    profiles_[id] = profile;
+  }
+}
+
+const net::DeviceProfile& ShardedSim::profile(NodeId id) const {
+  static const net::DeviceProfile kDefault{};
+  const auto it = profiles_.find(id);
+  return it == profiles_.end() ? kDefault : it->second;
+}
+
 void ShardedSim::notify_link(NodeId node, NodeId neighbor, bool up) {
   Shard& s = shard_of_node(node);
   (up ? s.link_up : s.link_down).inc();
@@ -180,12 +205,32 @@ void ShardedSim::broadcast(NodeId from, wire::Bytes payload) {
   // gets one private copy shared by that shard's receivers, so the
   // decode-once property survives the crossing.
   std::vector<std::shared_ptr<const wire::Bytes>> per_dst;
+  // Device heterogeneity (net/device_profile.h): pure time/size checks,
+  // no Rng draws, so profile-free worlds keep the exact per-shard
+  // streams the committed baselines pin.
+  const net::DeviceProfile* sender =
+      profiles_.empty() ? nullptr : &profile(from);
   for (const NodeId to : st.neighbors) {
+    if (sender != nullptr) {
+      const std::size_t mtu =
+          net::DeviceProfile::link_mtu(*sender, profile(to));
+      if (mtu != 0 && shared->size() > mtu) {
+        s.mtu_drop.inc();
+        continue;
+      }
+    }
     if (!radio_.delivered(s.rng)) {
       s.radio_lost.inc();
       continue;
     }
-    const SimTime delay = radio_.delay(s.rng, shared->size());
+    SimTime delay = radio_.delay(s.rng, shared->size());
+    if (sender != nullptr) {
+      if (sender->tx_delay_scale != 1.0) delay = delay * sender->tx_delay_scale;
+      if (!profile(to).awake_at(s.events.now() + delay)) {
+        s.duty_drop.inc();
+        continue;
+      }
+    }
     const std::uint32_t dst = state(to).owner;
     if (dst == st.owner) {
       s.events.schedule_after(

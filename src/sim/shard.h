@@ -35,12 +35,14 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/device_profile.h"
 #include "obs/hub.h"
 #include "sim/event_queue.h"
 #include "sim/node.h"
@@ -95,6 +97,14 @@ class ShardedSim {
   /// moves, which preserves determinism and costs only cross-shard mail.
   /// Must be called between run_until() calls (never from node code).
   void move_node(NodeId id, Vec2 position);
+
+  /// Attaches a hardware profile (net/device_profile.h); quiescent points
+  /// only — profiles are read concurrently by shard threads during
+  /// epochs.  tx_delay_scale must be >= 1.0 when shards > 1 (it would
+  /// undercut the conservative lookahead).  Worlds that never set a
+  /// profile keep the exact pre-profile Rng streams.
+  void set_profile(NodeId id, net::DeviceProfile profile);
+  [[nodiscard]] const net::DeviceProfile& profile(NodeId id) const;
 
   // --- node-side services (used by emu::ShardPlatform) ------------------
 
@@ -173,6 +183,8 @@ class ShardedSim {
     obs::Counter& link_up;
     obs::Counter& link_down;
     obs::Counter& mail_out;
+    obs::Counter& mtu_drop;
+    obs::Counter& duty_drop;
   };
 
   struct NodeState {
@@ -201,6 +213,10 @@ class ShardedSim {
   Radio radio_;
   Topology topology_;
   std::vector<NodeState> nodes_;  // indexed by NodeId value; slot 0 unused
+  /// Per-node hardware profiles; absent = full-power default.  Mutated
+  /// only at quiescent points, read concurrently (read-only) by shard
+  /// threads during epochs.
+  std::unordered_map<NodeId, net::DeviceProfile> profiles_;
   std::uint64_t next_node_ = 1;
   bool sealed_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -119,6 +119,13 @@ class Engine final : public SpaceOps {
   [[nodiscard]] const MaintenanceStats& maintenance_stats() const {
     return maintenance_stats_;
   }
+  [[nodiscard]] const MaintenanceOptions& maintenance_options() const {
+    return maintenance_;
+  }
+  /// The observability hub this engine records into — node-level
+  /// runtimes built on top of the engine (tuples/aggregator.h) register
+  /// their own instruments here so one world shares one registry.
+  [[nodiscard]] obs::Hub& hub() const { return hub_; }
   /// Frames this engine could not parse (corruption / unknown types);
   /// a healthy simulation keeps this at zero.
   [[nodiscard]] std::uint64_t decode_failures() const {

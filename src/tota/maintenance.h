@@ -46,6 +46,11 @@ struct MaintenanceOptions {
   /// evicted message could then be re-relayed once, which is harmless;
   /// unbounded memory on "really simple devices" is not.
   std::size_t passthrough_memory = 4096;
+  /// Cadence of the aggregation subsystem's maintenance tick
+  /// (tuples/aggregator.h): per-tuple value decay is pruned and stale
+  /// contributions expire on this timer.  Aggregators inherit this as
+  /// their default tick; zero disables decay maintenance entirely.
+  SimTime agg_decay_tick = SimTime::from_millis(250);
 };
 
 /// Counters the engine increments; experiments read these to cost the

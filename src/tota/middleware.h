@@ -88,6 +88,12 @@ class Middleware {
   [[nodiscard]] NodeId self() const { return engine_.self(); }
   [[nodiscard]] const TupleSpace& space() const { return space_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
+  /// This node's observability hub (shared with the other nodes of the
+  /// same world).
+  [[nodiscard]] obs::Hub& hub() const { return engine_.hub(); }
+  [[nodiscard]] const MaintenanceOptions& maintenance_options() const {
+    return engine_.maintenance_options();
+  }
   [[nodiscard]] const std::vector<NodeId>& neighbors() const {
     return engine_.neighbors();
   }

@@ -15,6 +15,8 @@ void register_standard_tuples() {
   register_tuple_type<ModifierTuple>(ModifierTuple::kTag);
   register_tuple_type<NavTuple>(NavTuple::kTag);
   register_tuple_type<DataTuple>(DataTuple::kTag);
+  register_tuple_type<AggregationTuple>(AggregationTuple::kTag);
+  register_tuple_type<AggReportTuple>(AggReportTuple::kTag);
 }
 
 }  // namespace tota::tuples

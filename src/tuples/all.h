@@ -2,6 +2,7 @@
 #pragma once
 
 #include "tuples/advert_tuple.h"
+#include "tuples/agg_tuple.h"
 #include "tuples/field_tuple.h"
 #include "tuples/flock_tuple.h"
 #include "tuples/gradient_tuple.h"

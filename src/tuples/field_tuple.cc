@@ -1,9 +1,21 @@
 #include "tuples/field_tuple.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace tota::tuples {
 
-FieldTuple::FieldTuple(std::string name, int scope) : scope_(scope) {
+FieldTuple::FieldTuple(std::string name, int scope) {
+  set_scope(scope);
   content().set("name", std::move(name));
+}
+
+void FieldTuple::set_scope(int scope) {
+  if (scope < kUnbounded || scope > kMaxScope) {
+    throw std::invalid_argument("FieldTuple scope " + std::to_string(scope) +
+                                " outside [-1, 2^24]");
+  }
+  scope_ = scope;
 }
 
 bool FieldTuple::decide_enter(const Context& ctx) {
@@ -37,7 +49,9 @@ void FieldTuple::encode_extra(wire::Writer& w) const { w.svarint(scope_); }
 
 void FieldTuple::decode_extra(wire::Reader& r) {
   const auto scope = r.svarint();
-  if (scope < -1 || scope > (1 << 24)) throw wire::DecodeError("bad scope");
+  if (scope < kUnbounded || scope > kMaxScope) {
+    throw wire::DecodeError("bad scope");
+  }
   scope_ = static_cast<int>(scope);
 }
 

@@ -27,6 +27,11 @@ namespace tota::tuples {
 class FieldTuple : public Tuple {
  public:
   static constexpr int kUnbounded = -1;
+  /// Largest representable scope; decode_extra rejects anything outside
+  /// [kUnbounded, kMaxScope], and the setter enforces the same bounds so
+  /// a locally-legal tuple can never encode a frame remote nodes throw
+  /// away.
+  static constexpr int kMaxScope = 1 << 24;
 
   FieldTuple() = default;
   explicit FieldTuple(std::string name, int scope = kUnbounded);
@@ -44,7 +49,9 @@ class FieldTuple : public Tuple {
   }
 
   [[nodiscard]] int scope() const { return scope_; }
-  void set_scope(int scope) { scope_ = scope; }
+  /// Throws std::invalid_argument outside [kUnbounded, kMaxScope] — the
+  /// exact range decode_extra accepts on the receiving side.
+  void set_scope(int scope);
 
   // --- propagation rule ------------------------------------------------------
 

@@ -19,7 +19,7 @@
 
 namespace tota::tuples {
 
-class QueryTuple final : public FieldTuple {
+class QueryTuple : public FieldTuple {
  public:
   static constexpr const char* kTag = "tota.query";
   /// Content field carrying an encoded Pattern (tota/pattern.h).

@@ -51,7 +51,7 @@ TEST(WorldTest, SpawnRandomUsesMobilityFactory) {
 
 TEST(WorldTest, MwThrowsForUnknownNode) {
   emu::World world(options());
-  EXPECT_THROW(world.mw(NodeId{999}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(world.mw(NodeId{999})), std::invalid_argument);
 }
 
 TEST(WorldTest, DespawnedNodeStopsParticipating) {
@@ -65,7 +65,7 @@ TEST(WorldTest, DespawnedNodeStopsParticipating) {
   world.mw(a).inject(std::make_unique<GradientTuple>("f"));
   world.run_for(SimTime::from_seconds(2));
   EXPECT_TRUE(world.mw(a).neighbors().empty());
-  EXPECT_THROW(world.mw(b), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(world.mw(b)), std::invalid_argument);
 }
 
 TEST(WorldTest, DespawnDisarmsPendingTimers) {

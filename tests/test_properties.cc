@@ -23,6 +23,7 @@
 
 #include "emu/world.h"
 #include "tota/tuple_space.h"
+#include "tuples/aggregator.h"
 #include "tuples/all.h"
 
 namespace tota {
@@ -544,6 +545,91 @@ TEST_P(ContinuousQueryProperty, IncrementalSetsEqualFullRequery) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousQueryProperty,
                          ::testing::Values(501, 502, 503));
+
+// --- P11: in-network aggregates ≡ gather-at-source oracle ---------------------
+// Every node runs an Aggregator; one sink sums integer "reading" tuples
+// through a contribution pattern.  A seeded script mutates the world —
+// put / replace / retract readings, move nodes — and after each batch
+// settles, the sink's incrementally folded answer must equal the exact
+// oracle: summing the driver's own ledger over the nodes currently
+// reachable from the sink.  Integer values keep double sums exact, so
+// fold order never matters.
+
+class AggregationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregationProperty, FoldedSumEqualsGatherOracle) {
+  const std::uint64_t seed = GetParam();
+  emu::World world(options(seed));
+  const auto ids = world.spawn_grid(4, 4, 60.0);
+  world.run_for(SimTime::from_seconds(1));
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  for (const NodeId id : ids) {
+    aggs.push_back(std::make_unique<Aggregator>(world.mw(id)));
+  }
+  const NodeId sink = ids[seed % ids.size()];
+  const std::size_t sink_i =
+      static_cast<std::size_t>(seed % ids.size());
+
+  Pattern readings = Pattern::of_type(GradientTuple::kTag);
+  readings.eq("name", "p11").exists("val");
+  auto spec = std::make_unique<AggregationTuple>("p11", AggOp::kSum);
+  spec->over("val").matching(readings);
+  aggs[sink_i]->ask(std::move(spec));
+  world.run_for(SimTime::from_seconds(2));
+
+  // The driver's ledger: each node's current reading, if any.
+  std::map<NodeId, std::int64_t> ledger;
+  const auto put_reading = [&](std::size_t i, std::int64_t val) {
+    Pattern mine = Pattern::of_type(GradientTuple::kTag);
+    mine.eq("name", "p11");
+    world.mw(ids[i]).take(mine);
+    auto r = std::make_unique<GradientTuple>("p11", 0);
+    r->content().set("val", val);
+    world.mw(ids[i]).inject(std::move(r));
+    ledger[ids[i]] = val;
+  };
+
+  Rng script(seed * 1000 + 23);
+  // 10 rounds x 25 ops x 8 seeds = 2000 randomized mutations.
+  for (int round = 0; round < 10; ++round) {
+    for (int op = 0; op < 25; ++op) {
+      const std::size_t i = script.below(ids.size());
+      switch (script.below(4)) {
+        case 0:  // put / replace
+        case 1:
+          put_reading(i, static_cast<std::int64_t>(script.below(100)));
+          break;
+        case 2: {  // retract
+          Pattern mine = Pattern::of_type(GradientTuple::kTag);
+          mine.eq("name", "p11");
+          world.mw(ids[i]).take(mine);
+          ledger.erase(ids[i]);
+          break;
+        }
+        case 3:  // move (never the sink; the tree root stays put)
+          if (ids[i] != sink) {
+            world.net().move_node(
+                ids[i], {script.uniform(0, 220), script.uniform(0, 220)});
+          }
+          break;
+      }
+    }
+    world.run_for(SimTime::from_seconds(6));
+
+    const auto reach = world.net().topology().hop_distances(sink);
+    double oracle = 0.0;
+    for (const auto& [node, val] : ledger) {
+      if (reach.contains(node)) oracle += static_cast<double>(val);
+    }
+    const auto folded = aggs[sink_i]->result("p11");
+    ASSERT_TRUE(folded.has_value()) << "round " << round;
+    ASSERT_EQ(*folded, oracle) << "round " << round << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationProperty,
+                         ::testing::Values(601, 602, 603, 604, 605, 606,
+                                           607, 608));
 
 }  // namespace
 }  // namespace tota

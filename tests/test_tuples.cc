@@ -72,6 +72,34 @@ TEST_F(TuplesTest, FieldTupleScopeSurvivesWire) {
   EXPECT_EQ(field.scope(), 7);
 }
 
+TEST_F(TuplesTest, FieldTupleScopeBoundaryValuesRoundTrip) {
+  // The full legal range survives the wire: unbounded (-1), the local
+  // degenerate (0), and the decoder's upper bound (2^24).
+  for (const int scope :
+       {FieldTuple::kUnbounded, 0, FieldTuple::kMaxScope}) {
+    GradientTuple g("f", scope);
+    g.set_uid(TupleUid{NodeId{1}, 1});
+    wire::Writer w;
+    g.encode(w);
+    wire::Reader r(w.bytes());
+    const auto decoded = Tuple::decode(r);
+    EXPECT_EQ(static_cast<const FieldTuple&>(*decoded).scope(), scope)
+        << "scope " << scope;
+  }
+}
+
+TEST_F(TuplesTest, FieldTupleScopeSetterRejectsWhatTheDecoderRejects) {
+  // The setter and decode_extra enforce the same [-1, 2^24] range — a
+  // locally constructible scope can no longer be un-decodable remotely.
+  EXPECT_THROW(GradientTuple("f", -2), std::invalid_argument);
+  EXPECT_THROW(GradientTuple("f", FieldTuple::kMaxScope + 1),
+               std::invalid_argument);
+  GradientTuple g("f");
+  EXPECT_THROW(g.set_scope(-7), std::invalid_argument);
+  g.set_scope(FieldTuple::kMaxScope);
+  EXPECT_EQ(g.scope(), FieldTuple::kMaxScope);
+}
+
 TEST_F(TuplesTest, FlockValIsVShaped) {
   FlockTuple f(/*target_distance=*/3);
   const int expected[] = {3, 2, 1, 0, 1, 2, 3};
