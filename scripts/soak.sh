@@ -34,7 +34,7 @@ else
   echo "== soak: default build =="
   cmake -B "$BUILD" -S .
 fi
-cmake --build "$BUILD" -j "$(nproc)" --target test_soak
+cmake --build "$BUILD" -j "$(nproc)" --target test_soak test_transport
 
 if [[ ! -x "$BUILD/tests/test_soak" ]]; then
   # tota_net (and with it the soak suite) is Unix-only.
@@ -45,6 +45,12 @@ fi
 for ((i = 1; i <= REPEAT; ++i)); do
   echo "== soak: run $i/$REPEAT =="
   "$BUILD/tests/test_soak" --gtest_brief=1
+  # The transport-v2 soak legs (tests/test_transport.cc): the drop-0.3
+  # reliable-retraction scenario (best-effort leaks, the reliable
+  # channel drains every RETRACT), the batching datagram-cost ratio,
+  # and the anti-entropy partition-heal run.
+  "$BUILD/tests/test_transport" --gtest_brief=1 \
+    --gtest_filter='TransportSoak.*:TransportBatch.*:TransportSync.*'
 done
 
 echo "soak OK"

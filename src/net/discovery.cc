@@ -3,17 +3,15 @@
 #include <cmath>
 #include <utility>
 
-#include "net/datagram.h"
-
 namespace tota::net {
 
 Discovery::Discovery(NodeId self, tota::Platform& platform,
-                     DiscoveryOptions options, SendFn send,
+                     DiscoveryOptions options, BeaconFn beacon,
                      obs::MetricsRegistry& metrics)
     : self_(self),
       platform_(platform),
       options_(options),
-      send_(std::move(send)),
+      beacon_(std::move(beacon)),
       hello_tx_(metrics.counter("net.hello.tx")),
       hello_rx_(metrics.counter("net.hello.rx")),
       hello_stale_(metrics.counter("net.hello.stale")),
@@ -52,7 +50,7 @@ SimTime Discovery::expiry_after(SimTime period) const {
 
 void Discovery::send_beacon() {
   if (!running_) return;
-  send_(Datagram::hello(self_, beacon_seq_++, options_.beacon_period));
+  beacon_(beacon_seq_++, options_.beacon_period);
   hello_tx_.inc();
 
   // Next beacon at period * (1 ± jitter); the uniform draw comes from

@@ -22,9 +22,11 @@
 //     a node heard again after expiring is simply a fresh neighbour —
 //     one down, one up, no flap suppression to tune.
 //
-// Discovery is deliberately socket-free: it emits HELLO bytes through a
-// callback and is fed decoded HELLOs by its owner (LivePlatform in
-// production, a test harness in tests/test_net.cc), and takes its clock,
+// Discovery is deliberately socket-free: it emits HELLO beacons through
+// a callback (the owner encodes them — a legacy HELLO datagram, or a
+// chunk on the next outgoing batch) and is fed decoded HELLOs by its
+// owner (net::NetSession in production, a test harness in
+// tests/test_net.cc), and takes its clock,
 // timers, and randomness from the Platform interface — so the whole
 // state machine runs under the simulator's or the test double's clock.
 #pragma once
@@ -66,14 +68,18 @@ struct DiscoveryOptions {
 
 class Discovery {
  public:
-  using SendFn = std::function<void(wire::Bytes)>;
+  /// Transmits one beacon: the owner encodes it (a legacy HELLO
+  /// datagram via net::Datagram::hello, or a HELLO chunk on the next
+  /// batch via net::Batcher::hello) — discovery only owns the schedule
+  /// and the (seq, period) content.
+  using BeaconFn = std::function<void(std::uint64_t seq, SimTime period)>;
   using NeighborFn = std::function<void(NodeId)>;
 
-  /// `platform` provides clock/timers/rng; `send` transmits one encoded
-  /// HELLO datagram.  Registers net.hello.* / net.neighbor.* in
-  /// `metrics` (must outlive the discovery).
+  /// `platform` provides clock/timers/rng; `beacon` transmits one HELLO
+  /// beacon.  Registers net.hello.* / net.neighbor.* in `metrics` (must
+  /// outlive the discovery).
   Discovery(NodeId self, tota::Platform& platform, DiscoveryOptions options,
-            SendFn send, obs::MetricsRegistry& metrics);
+            BeaconFn beacon, obs::MetricsRegistry& metrics);
   ~Discovery();
 
   Discovery(const Discovery&) = delete;
@@ -125,7 +131,7 @@ class Discovery {
   NodeId self_;
   tota::Platform& platform_;
   DiscoveryOptions options_;
-  SendFn send_;
+  BeaconFn beacon_;
   NeighborFn up_;
   NeighborFn down_;
 

@@ -3,10 +3,24 @@
 #include <stdexcept>
 #include <utility>
 
-#include "net/datagram.h"
 #include "tota/middleware.h"
 
 namespace tota::net {
+
+namespace {
+
+SessionOptions session_options(const LiveOptions& options) {
+  SessionOptions s;
+  s.discovery = options.discovery;
+  s.batch = options.batch;
+  s.reliable = options.reliable;
+  s.rel = options.rel;
+  s.digest_period = options.digest_period;
+  s.digest_buckets = options.digest_buckets;
+  return s;
+}
+
+}  // namespace
 
 LivePlatform::LivePlatform(EventLoop& loop, LiveOptions options,
                            obs::Hub* hub)
@@ -16,29 +30,19 @@ LivePlatform::LivePlatform(EventLoop& loop, LiveOptions options,
       rng_(options.seed != 0 ? options.seed
                              : 0x70A7A000u ^ options.id.value()),
       transport_(options.transport, hub_.metrics),
-      discovery_(
-          options.id, *this, options.discovery,
-          [this](wire::Bytes hello) { transport_.send(hello); },
-          hub_.metrics),
-      data_tx_(hub_.metrics.counter("net.data.tx")),
-      data_rx_(hub_.metrics.counter("net.data.rx")),
-      data_echo_(hub_.metrics.counter("net.data.echo")),
-      frame_bad_(hub_.metrics.counter("net.frame.bad")) {
+      session_(
+          options.id, *this, session_options(options),
+          [this](wire::Bytes datagram) { transport_.send(datagram); },
+          hub_.metrics) {
   if (!options_.id.valid()) {
     throw std::invalid_argument("LivePlatform requires a nonzero node id");
   }
-  discovery_.on_neighbor_up([this](NodeId n) {
-    if (middleware_ != nullptr) middleware_->on_neighbor_up(n);
-  });
-  discovery_.on_neighbor_down([this](NodeId n) {
-    if (middleware_ != nullptr) middleware_->on_neighbor_down(n);
-  });
 }
 
 LivePlatform::~LivePlatform() { stop(); }
 
 void LivePlatform::attach(Middleware& middleware) {
-  middleware_ = &middleware;
+  session_.attach(&middleware);
 }
 
 bool LivePlatform::start() {
@@ -56,14 +60,14 @@ bool LivePlatform::start() {
         // a partition whose group contains us severs our whole rx path.
         fault_->process(
             bytes,
-            [this](const wire::Bytes& damaged) { handle_datagram(damaged); },
+            [this](const wire::Bytes& damaged) { session_.on_raw(damaged); },
             NodeId{}, options_.id);
       } else {
-        handle_datagram(bytes);
+        session_.on_raw(bytes);
       }
     });
   });
-  discovery_.start();
+  session_.start();
   started_ = true;
   return true;
 }
@@ -71,41 +75,18 @@ bool LivePlatform::start() {
 void LivePlatform::stop() {
   if (!started_) return;
   started_ = false;
-  discovery_.stop();
+  session_.stop();
   loop_.remove_fd(transport_.fd());
   transport_.close();
   fault_.reset();  // held datagrams die with the node — in-flight loss
 }
 
 void LivePlatform::broadcast(wire::Bytes payload) {
-  transport_.send(Datagram::data(options_.id, payload));
-  data_tx_.inc();
+  session_.broadcast(std::move(payload));
 }
 
-void LivePlatform::handle_datagram(std::span<const std::uint8_t> bytes) {
-  Datagram d;
-  try {
-    d = Datagram::decode(bytes);
-  } catch (const wire::DecodeError&) {
-    frame_bad_.inc();  // foreign or corrupt traffic on our port
-    return;
-  }
-
-  switch (d.kind) {
-    case DatagramKind::kHello:
-      discovery_.on_hello(d.sender, d.seq, d.period);
-      return;
-    case DatagramKind::kData:
-      if (d.sender == options_.id) {
-        data_echo_.inc();  // our own broadcast, looped back by the medium
-        return;
-      }
-      data_rx_.inc();
-      if (middleware_ != nullptr) {
-        middleware_->on_datagram(d.sender, d.payload);
-      }
-      return;
-  }
+void LivePlatform::broadcast_reliable(wire::Bytes payload) {
+  session_.broadcast_reliable(std::move(payload));
 }
 
 }  // namespace tota::net

@@ -3,9 +3,10 @@
 // The production-shaped twin of emu::SimPlatform: where that binds a
 // Middleware to the discrete-event simulator, this binds one to a
 // net::EventLoop (timers + readiness), a net::UdpTransport (the shared
-// broadcast channel), and a net::Discovery (beacon-based neighbour
-// presence).  The engine/wire/tuples layers run unmodified on either —
-// that is the point of the Platform seam.
+// broadcast channel), and a net::NetSession (the whole v2 datagram
+// path: discovery beacons, MTU-aware batching, the reliable control
+// channel, anti-entropy digests).  The engine/wire/tuples layers run
+// unmodified on either — that is the point of the Platform seam.
 //
 // Differences from the simulator, all deliberate:
 //   * frame_codec() stays nullptr: each process owns its private receive
@@ -13,7 +14,7 @@
 //     the engine takes its span fallback path.
 //   * Sender attribution comes from the datagram envelope
 //     (net/datagram.h), not from the radio model.
-//   * A broadcast medium echoes one's own frames; the platform drops
+//   * A broadcast medium echoes one's own frames; the session drops
 //     them by sender id (counted as net.data.echo).
 //   * Neighbour up/down upcalls are synthesized by Discovery instead of
 //     injected by the simulator — so a killed process is observed as k
@@ -22,15 +23,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 
-#include <memory>
-
 #include "common/geometry.h"
-#include "net/discovery.h"
 #include "net/event_loop.h"
 #include "net/fault.h"
+#include "net/session.h"
 #include "net/udp_transport.h"
 #include "obs/hub.h"
 #include "tota/platform.h"
@@ -47,6 +47,14 @@ struct LiveOptions {
   NodeId id;
   UdpOptions transport;
   DiscoveryOptions discovery;
+  /// v2 wire features (net/session.h): MTU-aware batching, the reliable
+  /// control channel, the anti-entropy digest cadence.  All default off
+  /// — the default wire is v1, byte-for-byte.
+  BatchOptions batch;
+  bool reliable = false;
+  ReliableOptions rel;
+  SimTime digest_period = SimTime::zero();
+  std::uint32_t digest_buckets = 32;
   /// Reported by position(); live nodes without a real location sensor
   /// just stand still wherever they are configured.
   Vec2 position{};
@@ -69,8 +77,9 @@ class LivePlatform final : public tota::Platform {
   LivePlatform(const LivePlatform&) = delete;
   LivePlatform& operator=(const LivePlatform&) = delete;
 
-  /// Routes upcalls (datagrams, neighbour up/down) into `middleware`,
-  /// which must outlive the platform or be detached by stop().
+  /// Routes upcalls (datagrams, neighbour up/down, digests) into
+  /// `middleware`, which must outlive the platform or be detached by
+  /// stop().
   void attach(Middleware& middleware);
 
   /// Opens the socket, registers it with the loop, and starts beaconing.
@@ -78,7 +87,7 @@ class LivePlatform final : public tota::Platform {
   /// can skip gracefully where sockets are unavailable.
   [[nodiscard]] bool start();
 
-  /// Stops discovery (silently), deregisters and closes the socket.
+  /// Stops the session (silently), deregisters and closes the socket.
   void stop();
 
   [[nodiscard]] const std::string& error() const {
@@ -88,6 +97,7 @@ class LivePlatform final : public tota::Platform {
   // --- tota::Platform -----------------------------------------------------
 
   void broadcast(wire::Bytes payload) override;
+  void broadcast_reliable(wire::Bytes payload) override;
   [[nodiscard]] SimTime now() const override { return loop_.now(); }
   TimerId schedule(SimTime delay, std::function<void()> action) override {
     return loop_.schedule(delay, std::move(action));
@@ -102,7 +112,8 @@ class LivePlatform final : public tota::Platform {
 
   [[nodiscard]] NodeId id() const { return options_.id; }
   [[nodiscard]] EventLoop& loop() { return loop_; }
-  [[nodiscard]] Discovery& discovery() { return discovery_; }
+  [[nodiscard]] NetSession& session() { return session_; }
+  [[nodiscard]] Discovery& discovery() { return session_.discovery(); }
   [[nodiscard]] UdpTransport& transport() { return transport_; }
   [[nodiscard]] obs::Hub& hub() { return hub_; }
   /// The receive-path fault injector; nullptr when options.fault is
@@ -110,27 +121,17 @@ class LivePlatform final : public tota::Platform {
   [[nodiscard]] FaultInjector* fault() { return fault_.get(); }
 
  private:
-  /// Decodes and routes one received datagram; foreign/garbage datagrams
-  /// count net.frame.bad and are dropped.
-  void handle_datagram(std::span<const std::uint8_t> bytes);
-
   EventLoop& loop_;
   LiveOptions options_;
   obs::Hub& hub_;
   Rng rng_;
   UdpTransport transport_;
-  Discovery discovery_;
+  NetSession session_;
   /// Built at start() when options_.fault.enabled(); wraps the drain →
-  /// handle_datagram path.  Destroyed at stop() — held (reordered)
+  /// session receive path.  Destroyed at stop() — held (reordered)
   /// datagrams of a stopping node are simply in-flight loss.
   std::unique_ptr<FaultInjector> fault_;
-  Middleware* middleware_ = nullptr;
   bool started_ = false;
-
-  obs::Counter& data_tx_;
-  obs::Counter& data_rx_;
-  obs::Counter& data_echo_;
-  obs::Counter& frame_bad_;
 };
 
 }  // namespace tota::net

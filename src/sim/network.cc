@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -51,6 +52,13 @@ Network::Network(NetworkParams params, obs::Hub* hub)
       mtu_drop_(hub_.metrics.counter("net.mtu_drop")),
       duty_drop_(hub_.metrics.counter("net.duty_drop")),
       frame_codec_(hub_.metrics) {
+  if (params_.batch.enabled) {
+    batch_tx_ = &hub_.metrics.counter("net.batch.tx");
+    batch_chunks_ = &hub_.metrics.counter("net.batch.chunks");
+    batch_flush_ = &hub_.metrics.counter("net.batch.flush");
+    batch_oversize_ = &hub_.metrics.counter("net.batch.oversize");
+    frame_bad_ = &hub_.metrics.counter("net.frame.bad");
+  }
   if (params_.fault.enabled()) {
     // The fork below is the only extra Rng draw a faulted configuration
     // makes from the network stream; a benign plan leaves the stream —
@@ -148,6 +156,10 @@ const net::DeviceProfile& Network::profile(NodeId id) const {
 
 void Network::broadcast(NodeId from, wire::Bytes payload) {
   if (!topology_.contains(from)) return;  // sender died mid-flight
+  if (params_.batch.enabled) {
+    enqueue_batch(from, std::move(payload));
+    return;
+  }
   radio_tx_.inc();
   radio_tx_bytes_.inc(static_cast<std::int64_t>(payload.size()));
   const auto receivers = topology_.neighbors(from);
@@ -211,6 +223,95 @@ void Network::deliver_after(SimTime delay, NodeId from, NodeId to,
                            radio_rx_.inc();
                            it->second.host->on_datagram(from, payload);
                          });
+}
+
+void Network::enqueue_batch(NodeId from, wire::Bytes payload) {
+  auto& pending = batch_pending_[from];
+  pending.push_back(net::Datagram::chunk_data(payload));
+  if (pending.size() == 1) {
+    // First chunk arms the flush; a zero flush_delay still runs after
+    // the current event, so everything a node emits within one event
+    // instant (e.g. its reactions to one received batch) coalesces.
+    events_.schedule_after(params_.batch.flush_delay,
+                           [this, from] { flush_batch(from); });
+  }
+}
+
+void Network::flush_batch(NodeId from) {
+  const auto it = batch_pending_.find(from);
+  if (it == batch_pending_.end() || it->second.empty()) return;
+  auto chunks = std::exchange(it->second, {});
+  if (!topology_.contains(from)) return;  // died while pending
+  batch_flush_->inc();
+  batch_chunks_->inc(static_cast<std::int64_t>(chunks.size()));
+  auto datagrams = net::pack_batches(from, std::move(chunks), params_.batch,
+                                     batch_oversize_);
+  batch_tx_->inc(static_cast<std::int64_t>(datagrams.size()));
+  for (auto& d : datagrams) transmit_batch(from, std::move(d));
+}
+
+void Network::transmit_batch(NodeId from, wire::Bytes datagram) {
+  radio_tx_.inc();
+  radio_tx_bytes_.inc(static_cast<std::int64_t>(datagram.size()));
+  const auto receivers = topology_.neighbors(from);
+  auto shared = std::make_shared<const wire::Bytes>(std::move(datagram));
+  const net::DeviceProfile* sender =
+      profiles_.empty() ? nullptr : &profile(from);
+  for (const NodeId to : receivers) {
+    if (sender != nullptr) {
+      const std::size_t mtu =
+          net::DeviceProfile::link_mtu(*sender, profile(to));
+      if (mtu != 0 && shared->size() > mtu) {
+        mtu_drop_.inc();  // the whole batch: coalescing raises the stakes
+        continue;
+      }
+    }
+    if (!radio_.delivered(rng_)) {
+      radio_lost_.inc();
+      continue;
+    }
+    SimTime delay = radio_.delay(rng_, shared->size());
+    if (sender != nullptr) {
+      if (sender->tx_delay_scale != 1.0) delay = delay * sender->tx_delay_scale;
+      if (!profile(to).awake_at(events_.now() + delay)) {
+        duty_drop_.inc();
+        continue;
+      }
+    }
+    if (fault_ != nullptr) {
+      fault_->process(
+          std::span(*shared),
+          [this, from, to, delay](const wire::Bytes& bytes) {
+            deliver_batch_after(delay, from, to,
+                                std::make_shared<const wire::Bytes>(bytes));
+          },
+          from, to);
+    } else {
+      deliver_batch_after(delay, from, to, shared);
+    }
+  }
+}
+
+void Network::deliver_batch_after(
+    SimTime delay, NodeId from, NodeId to,
+    std::shared_ptr<const wire::Bytes> datagram) {
+  events_.schedule_after(
+      delay, [this, from, to, datagram = std::move(datagram)] {
+        const auto it = nodes_.find(to);
+        if (it == nodes_.end() || it->second.host == nullptr) return;
+        radio_rx_.inc();
+        net::Datagram d;
+        try {
+          d = net::Datagram::decode(*datagram);
+        } catch (const wire::DecodeError&) {
+          frame_bad_->inc();  // fault-corrupted past recognition
+          return;
+        }
+        for (const net::Chunk& chunk : d.chunks) {
+          if (chunk.kind != net::ChunkKind::kData) continue;
+          it->second.host->on_datagram(from, chunk.payload);
+        }
+      });
 }
 
 void Network::run_until(SimTime deadline) { events_.run_until(deadline); }

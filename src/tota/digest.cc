@@ -1,0 +1,69 @@
+#include "tota/digest.h"
+
+namespace tota {
+
+namespace {
+
+/// splitmix64 finalizer — full-avalanche 64-bit mix.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t StoreDigest::mix(const TupleUid& uid) {
+  // Mix the origin first so (node 1, seq 2) and (node 2, seq 1) land
+  // far apart before the final avalanche.
+  return splitmix64(splitmix64(uid.origin().value()) ^ uid.sequence());
+}
+
+std::size_t StoreDigest::bucket_of(const TupleUid& uid,
+                                   std::size_t bucket_count) {
+  return static_cast<std::size_t>(mix(uid) % bucket_count);
+}
+
+StoreDigest StoreDigest::build(std::span<const TupleUid> uids,
+                               std::uint32_t bucket_count) {
+  if (bucket_count == 0) bucket_count = 1;
+  if (bucket_count > kMaxDigestBuckets) bucket_count = kMaxDigestBuckets;
+  StoreDigest d;
+  d.buckets.assign(bucket_count, 0);
+  for (const TupleUid& uid : uids) d.add(uid);
+  return d;
+}
+
+void StoreDigest::add(const TupleUid& uid) {
+  buckets[bucket_of(uid, buckets.size())] ^= mix(uid);
+  ++count;
+}
+
+wire::Bytes StoreDigest::encode() const {
+  wire::Writer w;
+  w.reserve(10 + 8 * buckets.size());
+  w.uvarint(buckets.size());
+  w.uvarint(count);
+  for (const std::uint64_t b : buckets) w.u64(b);
+  return w.take();
+}
+
+StoreDigest StoreDigest::decode(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  const std::uint64_t bucket_count = r.uvarint();
+  if (bucket_count == 0) throw wire::DecodeError("digest without buckets");
+  if (bucket_count > kMaxDigestBuckets) {
+    throw wire::DecodeError("digest bucket count over the cap");
+  }
+  StoreDigest d;
+  d.count = r.uvarint();
+  d.buckets.reserve(static_cast<std::size_t>(bucket_count));
+  for (std::uint64_t i = 0; i < bucket_count; ++i) {
+    d.buckets.push_back(r.u64());
+  }
+  r.expect_done();
+  return d;
+}
+
+}  // namespace tota

@@ -60,6 +60,7 @@
 #include "common/ids.h"
 #include "obs/hub.h"
 #include "tota/bounded_uid_fifo.h"
+#include "tota/digest.h"
 #include "tota/engine_metrics.h"
 #include "tota/events.h"
 #include "tota/hold_down.h"
@@ -109,6 +110,18 @@ class Engine final : public SpaceOps {
 
   void on_neighbor_up(NodeId neighbor);
   void on_neighbor_down(NodeId neighbor);
+
+  // --- anti-entropy (engine_sync.cc) -------------------------------------
+
+  /// Digest of this node's propagated tuple set with `buckets` hash
+  /// buckets (see tota/digest.h).
+  [[nodiscard]] StoreDigest digest(std::uint32_t buckets) const;
+
+  /// Compares `remote` (a neighbour's digest) against the local store
+  /// and re-broadcasts every propagated tuple in a differing bucket —
+  /// one-way push resync, O(diff) in expectation.  Returns the number of
+  /// tuples re-sent (counted under net.sync.resend).
+  int on_digest(NodeId from, const StoreDigest& remote);
 
   // --- introspection -----------------------------------------------------
 

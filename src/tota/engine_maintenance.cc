@@ -94,13 +94,16 @@ void Engine::retract_local(const TupleUid& uid, bool cascaded) {
   hold_down_.arm(uid, platform_.now() + maintenance_.hold_down, removed_hop);
   schedule_owned(maintenance_.hold_down, [this, uid] {
     if (!hold_down_.expire(uid, platform_.now())) return;
-    platform_.broadcast(wire::Frame::probe(uid));
+    platform_.broadcast_reliable(wire::Frame::probe(uid));
     ++maintenance_stats_.probes_sent;
     metrics_.maint_probe_tx.inc();
     trace(obs::Stage::kProbe, uid, /*hop=*/-1);
   });
 
-  platform_.broadcast(wire::Frame::retract(uid, removed_hop));
+  // A lost RETRACT is the one frame the flood cannot heal on its own:
+  // the stale replica stays justified forever.  Platforms with a
+  // reliable channel upgrade this to at-least-once delivery.
+  platform_.broadcast_reliable(wire::Frame::retract(uid, removed_hop));
 }
 
 void Engine::handle_probe(const TupleUid& uid) {

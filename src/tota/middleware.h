@@ -83,6 +83,18 @@ class Middleware {
   void on_neighbor_up(NodeId neighbor);
   void on_neighbor_down(NodeId neighbor);
 
+  // --- anti-entropy (see tota/digest.h, net/session.h) ----------------------
+
+  /// Digest of this node's propagated tuple set.
+  [[nodiscard]] StoreDigest digest(std::uint32_t buckets) const {
+    return engine_.digest(buckets);
+  }
+  /// Diff a neighbour's digest against the local store and re-broadcast
+  /// the tuples in differing buckets; returns how many were re-sent.
+  int on_digest(NodeId from, const StoreDigest& remote) {
+    return engine_.on_digest(from, remote);
+  }
+
   // --- introspection ----------------------------------------------------------
 
   [[nodiscard]] NodeId self() const { return engine_.self(); }

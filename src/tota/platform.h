@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/geometry.h"
@@ -36,6 +37,17 @@ class Platform {
   /// Sends `payload` to every current one-hop neighbour (broadcast
   /// medium; one transmission, many receivers).
   virtual void broadcast(wire::Bytes payload) = 0;
+
+  /// Like broadcast(), but the platform may upgrade delivery to
+  /// at-least-once for the neighbours present at call time (the engine
+  /// uses this for RETRACT/PROBE control frames, whose loss is not
+  /// self-healing the way tuple floods are).  The default forwards to
+  /// broadcast() — best-effort platforms and the lossless simulator
+  /// need nothing extra; net::NetSession overrides it with its reliable
+  /// channel (net/reliable.h) when that channel is enabled.
+  virtual void broadcast_reliable(wire::Bytes payload) {
+    broadcast(std::move(payload));
+  }
 
   /// The decode-once frame cache shared by every receiver on this
   /// medium (see wire/frame.h), or nullptr when the transport cannot

@@ -21,6 +21,18 @@ namespace tota::wire {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Encoded size of `v` as a LEB128 uvarint (1..10 bytes) — lets senders
+/// that pack against a byte budget (net::Batcher vs the link MTU) price
+/// a field without encoding it.
+constexpr std::size_t uvarint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Thrown by Reader on truncated or malformed input.
 class DecodeError : public std::runtime_error {
  public:
@@ -79,6 +91,17 @@ class Reader {
   bool boolean();
   std::string string();
   Bytes blob();
+
+  /// Raw view of the next `n` bytes, no copy; the span aliases the
+  /// reader's input and is valid only while that buffer lives.  Used
+  /// for length-prefixed sub-envelopes (net::Datagram BATCH chunks)
+  /// whose bodies are parsed by their own Reader.
+  std::span<const std::uint8_t> span(std::size_t n) {
+    need(n);
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }

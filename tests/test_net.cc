@@ -80,8 +80,10 @@ class DiscoveryTest : public ::testing::Test {
     opts.expiry_missed_beacons = 3;
     discovery_ = std::make_unique<Discovery>(
         NodeId{1}, platform_, opts,
-        [this](wire::Bytes b) {
-          sent_.push_back(std::move(b));
+        [this](std::uint64_t seq, SimTime period) {
+          // Encode like the legacy (unbatched) session does, so the
+          // wire-shape assertions below keep covering the v1 HELLO.
+          sent_.push_back(net::Datagram::hello(NodeId{1}, seq, period));
           send_times_.push_back(platform_.now());
         },
         metrics_);
@@ -186,7 +188,8 @@ TEST_F(DiscoveryTest, BeaconScheduleIsDeterministicUnderSeededRng) {
   opts.beacon_jitter = 0.2;
   Discovery d2(
       NodeId{1}, platform2, opts,
-      [&](wire::Bytes) { times2.push_back(platform2.now()); }, metrics2);
+      [&](std::uint64_t, SimTime) { times2.push_back(platform2.now()); },
+      metrics2);
   d2.start();
   for (int i = 0; i < 6; ++i) platform2.run_scheduled();
 

@@ -419,7 +419,9 @@ class SoakWorld {
     void make_discovery(SoakWorld& w, int i) {
       disc = std::make_unique<net::Discovery>(
           id_of(i), platform, discovery_options(),
-          [&w, i](wire::Bytes hello) { w.send(i, std::move(hello)); },
+          [&w, i](std::uint64_t seq, SimTime period) {
+            w.send(i, net::Datagram::hello(id_of(i), seq, period));
+          },
           w.hub_.metrics);
       disc->on_neighbor_up([this](NodeId n) { mw.on_neighbor_up(n); });
       disc->on_neighbor_down([this](NodeId n) { mw.on_neighbor_down(n); });
@@ -491,6 +493,8 @@ class SoakWorld {
         if (d.sender == id_of(j)) return;  // own echo
         nodes_[j]->mw.on_datagram(d.sender, d.payload);
         return;
+      case net::DatagramKind::kBatch:
+        return;  // this harness speaks the v1 wire only
     }
   }
 
