@@ -127,6 +127,14 @@ void Batcher::enqueue(EncodedChunk chunk) {
   }
 }
 
+void Batcher::clear() {
+  platform_.cancel(flush_timer_);
+  flush_timer_ = tota::Platform::kInvalidTimer;
+  pending_.clear();
+  ack_slot_.clear();
+  digest_slot_ = kNoSlot;
+}
+
 void Batcher::flush() {
   platform_.cancel(flush_timer_);
   flush_timer_ = tota::Platform::kInvalidTimer;

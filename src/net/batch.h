@@ -99,6 +99,11 @@ class Batcher {
   /// Sends everything pending now (also the flush timer's target).
   void flush();
 
+  /// Cancels the pending flush and drops everything queued, including
+  /// the coalesced ack/digest slots — the session-stop path: a stopped
+  /// node must not transmit.
+  void clear();
+
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 

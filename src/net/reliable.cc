@@ -26,6 +26,13 @@ ReliableChannel::ReliableChannel(tota::Platform& platform,
 
 ReliableChannel::~ReliableChannel() { platform_.cancel(rtx_timer_); }
 
+void ReliableChannel::start() { rearm_timer(); }
+
+void ReliableChannel::stop() {
+  platform_.cancel(rtx_timer_);
+  rtx_timer_ = tota::Platform::kInvalidTimer;
+}
+
 std::uint64_t ReliableChannel::floor() const {
   return window_.empty() ? next_seq_ : window_.front().seq;
 }
@@ -58,10 +65,14 @@ void ReliableChannel::transmit(InFlight& f) {
 void ReliableChannel::send(wire::Bytes frame, std::vector<NodeId> targets) {
   if (targets.empty()) {
     // Nobody to wait for: one best-effort emission, seq consumed so the
-    // stream stays monotonic for receivers that do overhear it.
+    // stream stays monotonic for receivers that do overhear it.  The
+    // floor must be read *before* the seq is consumed: with an empty
+    // window floor() tracks next_seq_, and chunk_rel cannot encode a
+    // floor above the chunk's own seq (it writes seq - floor).
+    const std::uint64_t fl = floor();
     const std::uint64_t seq = next_seq_++;
     rel_tx_.inc();
-    if (emit_) emit_(seq, floor(), frame);
+    if (emit_) emit_(seq, fl, frame);
     return;
   }
   if (window_.size() >= options_.window) {
@@ -84,15 +95,19 @@ void ReliableChannel::drain_queue() {
     queue_.pop_front();
     // on_peer_down pruned departed targets from queue_ entries in place,
     // so a queued frame may surface here with nobody left to wait for.
+    // Same read-the-floor-before-the-seq order as send()'s empty-target
+    // branch.
+    if (targets.empty()) {
+      const std::uint64_t fl = floor();
+      const std::uint64_t seq = next_seq_++;
+      rel_tx_.inc();
+      if (emit_) emit_(seq, fl, frame);
+      continue;
+    }
     InFlight f;
     f.seq = next_seq_++;
     f.frame = std::move(frame);
     f.waiting = std::move(targets);
-    if (f.waiting.empty()) {
-      rel_tx_.inc();
-      if (emit_) emit_(f.seq, floor(), f.frame);
-      continue;
-    }
     window_.push_back(std::move(f));
     transmit(window_.back());
     activated = true;

@@ -101,6 +101,13 @@ class ReliableChannel {
   void set_ack(AckFn fn) { ack_ = std::move(fn); }
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Re-arms the retransmit timer for anything still in flight after a
+  /// stop() (no-op on a fresh or idle channel).
+  void start();
+  /// Cancels the retransmit timer so a stopped node goes silent.  The
+  /// window/queue state stays: start() resumes the retransmits.
+  void stop();
+
   // --- sender ----------------------------------------------------------
 
   /// Queues `frame` for reliable broadcast to `targets` (the neighbour

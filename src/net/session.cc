@@ -53,10 +53,19 @@ NetSession::~NetSession() { stop(); }
 
 void NetSession::start() {
   next_digest_ = platform_.now() + options_.digest_period;
+  rel_->start();  // resume retransmits for anything left from a stop()
   discovery_.start();
 }
 
-void NetSession::stop() { discovery_.stop(); }
+void NetSession::stop() {
+  // Full quiesce: a stopped node must not transmit.  Discovery goes
+  // silent, the reliable channel's retransmit timer is cancelled (its
+  // window survives for a restart), and whatever the batcher had
+  // pending is dropped, flush timer included.
+  discovery_.stop();
+  rel_->stop();
+  batcher_.clear();
+}
 
 void NetSession::broadcast(wire::Bytes payload) {
   data_tx_.inc();

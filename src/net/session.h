@@ -90,9 +90,12 @@ class NetSession {
   /// `middleware`; pass nullptr to detach.
   void attach(Middleware* middleware) { middleware_ = middleware; }
 
-  /// Starts beaconing (the first beacon flushes immediately).
+  /// Starts beaconing (the first beacon flushes immediately) and, after
+  /// a stop(), resumes the reliable channel's retransmits.
   void start();
-  /// Stops discovery silently and drops anything pending in the batcher.
+  /// Quiesces every send-side timer: stops discovery silently, cancels
+  /// the reliable channel's retransmit timer, and drops anything
+  /// pending in the batcher.
   void stop();
 
   // --- send path ----------------------------------------------------------

@@ -517,6 +517,39 @@ TEST(ReliableChannel, EmptyTargetSetIsBestEffort) {
   EXPECT_EQ(rig->platform.pending_scheduled(), 0u);
 }
 
+TEST(ReliableChannel, EmptyTargetEmissionRoundTripsThroughTheCodec) {
+  auto rig = rel_rig();
+  rig->channel.send(bytes_of({7}), {});
+  ASSERT_EQ(rig->emitted.size(), 1u);
+  // With an empty window the post-send floor is seq+1, which chunk_rel
+  // cannot encode (it writes seq - floor as a uvarint): the emission
+  // must carry a floor at or below its own seq, or every receiver
+  // throws "REL floor above its own seq" and drops the whole BATCH the
+  // chunk rode in — HELLO/DATA/ACK neighbours included.
+  EXPECT_LE(rig->emitted[0].floor, rig->emitted[0].seq);
+  const net::EncodedChunk chunk = net::Datagram::chunk_rel(
+      rig->emitted[0].seq, rig->emitted[0].floor, rig->emitted[0].frame);
+  const net::Datagram decoded =
+      net::Datagram::decode(net::Datagram::batch(NodeId{1}, {&chunk, 1}));
+  ASSERT_EQ(decoded.chunks.size(), 1u);
+  EXPECT_EQ(decoded.chunks[0].seq, 1u);
+  EXPECT_EQ(decoded.chunks[0].floor, 1u);
+}
+
+TEST(ReliableChannel, RetiredQueueEntryEmitsACodecSafeFloor) {
+  net::ReliableOptions options;
+  options.window = 1;
+  auto rig = rel_rig(options);
+  rig->channel.send(bytes_of({1}), {NodeId{2}});
+  rig->channel.send(bytes_of({2}), {NodeId{3}});  // queued behind the window
+  rig->channel.on_peer_down(NodeId{3});  // prunes the queued entry in place
+  rig->channel.on_ack(NodeId{2}, 1);     // retires seq 1 → the queue drains
+  ASSERT_EQ(rig->emitted.size(), 2u);
+  EXPECT_EQ(rig->emitted[1].seq, 2u);
+  EXPECT_EQ(rig->emitted[1].floor, 2u);  // not 3: same encode limit as above
+  EXPECT_EQ(rig->channel.in_flight(), 0u);
+}
+
 TEST(ReliableChannel, WindowBackpressureQueuesAndDrainsInOrder) {
   net::ReliableOptions options;
   options.window = 2;
@@ -1314,6 +1347,49 @@ TEST(NetSession, CorruptAndForeignDatagramsCountFrameBad) {
   session.on_raw(sample_batch(NodeId{1}));
   EXPECT_EQ(metrics.get("net.data.echo"), 1);
   EXPECT_EQ(metrics.get("net.data.rx"), 0);
+}
+
+TEST(NetSession, StopQuiescesEveryTimerAndDropsPendingTraffic) {
+  FakePlatform platform;
+  obs::MetricsRegistry metrics;
+  net::SessionOptions options;
+  options.discovery = fast_discovery();
+  options.batch.enabled = true;
+  options.reliable = true;
+  std::vector<wire::Bytes> sent;
+  net::NetSession session(
+      NodeId{1}, platform, options,
+      [&](wire::Bytes d) { sent.push_back(std::move(d)); }, metrics);
+
+  session.start();
+  platform.run_scheduled();  // the first beacon's flush goes out
+  // A neighbour, so broadcast_reliable has a target to wait on and the
+  // retransmit timer arms.
+  session.on_raw(
+      net::Datagram::hello(NodeId{2}, 1, SimTime::from_millis(100)));
+  session.broadcast(bytes_of({1, 2, 3}));
+  session.broadcast_reliable(bytes_of({4, 5, 6}));
+  EXPECT_GT(session.batcher().pending(), 0u);
+  EXPECT_EQ(session.reliable().in_flight(), 1u);
+
+  const std::size_t sent_before = sent.size();
+  session.stop();
+  EXPECT_EQ(session.batcher().pending(), 0u);  // pending traffic dropped
+  // Every armed timer — beacon, batcher flush, retransmit, neighbour
+  // expiry — is cancelled: draining the schedule transmits nothing
+  // (LivePlatform::stop has closed the socket by now).
+  for (int i = 0; i < 8 && platform.pending_scheduled() > 0; ++i) {
+    platform.run_scheduled();
+  }
+  EXPECT_EQ(platform.pending_scheduled(), 0u);
+  EXPECT_EQ(sent.size(), sent_before);
+
+  // A restart resumes where stop() paused: the reliable frame is still
+  // unacked, so its retransmit re-arms and the next flush ships it.
+  session.start();
+  platform.run_scheduled();
+  EXPECT_GT(session.reliable().in_flight(), 0u);
+  EXPECT_GT(sent.size(), sent_before);
 }
 
 }  // namespace
