@@ -1,17 +1,33 @@
-// tota_node — one live TOTA node as a real OS process.
+// tota_node — live TOTA nodes as a real OS process.
 //
-// N of these on one UDP group form a TOTA network with no simulator in
-// sight: discovery beacons synthesize the neighbourhood, the engine
-// propagates and self-maintains tuples over the shared socket, and every
-// layer above the Platform seam is byte-for-byte the code the simulator
-// runs.  docs/NET.md and the README's "Running on a real network"
-// section walk through a 3-terminal session; scripts/smoke_net.sh drives
-// the same setup from CI.
+// Default mode hosts ONE node: N of these processes on one UDP group
+// form a TOTA network with no simulator in sight — discovery beacons
+// synthesize the neighbourhood, the engine propagates and self-maintains
+// tuples over the shared socket, and every layer above the Platform seam
+// is byte-for-byte the code the simulator runs.  docs/NET.md and the
+// README's "Running on a real network" section walk through a 3-terminal
+// session; scripts/smoke_net.sh drives the same setup from CI.
+//
+// `--count N` switches to the mass-live mode (net::MassLiveWorld):
+// N complete nodes — N sockets, N engines, N metric hubs — share one
+// multi-tenant epoll EventLoop in this process, optionally under
+// FaultInjector chaos (--drop/--dup/--reorder).  The run injects a
+// gradient from the first node, waits for BFS-exact convergence, then
+// (--kill-source) crashes the source and waits for every survivor to
+// retract the orphaned replica.  scripts/mass_live.sh drives this at
+// 300+ nodes in CI.
 //
 // Output is line-oriented and machine-parseable on purpose (the smoke
-// test greps it):
+// and mass tests grep it):
 //   READ t_ms=<time> name=<field> hops=<n|absent>     periodic poll
 //   FINAL name=<field> hops=<n|absent> neighbors=<n> up=<n> down=<n>
+// and in mass mode:
+//   MASS count=<n> backend=<poll|epoll> port=<p>
+//   CONVERGED t_ms=<time> nodes=<n>        all live nodes BFS-exact
+//   KILL id=<source id>                    --kill-source fired
+//   RETRACTED t_ms=<time> leaks=0          all survivors read absent
+//   FINAL-MASS nodes=<n> converged=<0|1> leaks=<k> rx=<datagrams>
+//     drain_yield=<n> fault_drop=<n> compactions=<n>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +35,7 @@
 #include <string>
 
 #include "net/live_platform.h"
+#include "net/mass_live.h"
 #include "obs/export.h"
 #include "tota/middleware.h"
 #include "tuples/all.h"
@@ -36,6 +53,12 @@ struct Cli {
   std::int64_t read_every_ms = 250;
   std::string metrics_path;   // "" = don't write
   bool probe = false;
+  // Mass-live mode (count > 1).
+  int count = 1;
+  bool kill_source = false;
+  net::LoopBackend backend = net::LoopBackend::kAuto;
+  net::FaultPlan fault;
+  std::uint64_t seed = 1;
 };
 
 void usage(const char* argv0) {
@@ -56,7 +79,17 @@ void usage(const char* argv0) {
       "  --expiry-k K       missed beacons before neighbour expiry (3)\n"
       "  --jitter J         beacon jitter fraction (default 0.2)\n"
       "  --metrics PATH     write the node's metrics JSON at exit\n"
-      "  --probe            only test socket availability (exit 0/2)\n",
+      "  --probe            only test socket availability (exit 0/2)\n"
+      "mass-live mode (docs/NET.md):\n"
+      "  --count N          host N nodes on one loop in this process\n"
+      "  --kill-source      after convergence, crash the injecting node\n"
+      "                     and require every survivor to retract\n"
+      "  --backend B        event-loop backend: auto|poll|epoll\n"
+      "  --seed S           base Rng seed for the mass world (default 1)\n"
+      "  --drop P           rx datagram drop probability\n"
+      "  --dup P            rx datagram duplication probability\n"
+      "  --reorder P        rx datagram reorder probability\n"
+      "  --reorder-window W reorder overtake window (enables --reorder)\n",
       argv0);
 }
 
@@ -105,11 +138,154 @@ bool parse_cli(int argc, char** argv, Cli* cli) {
       cli->live.discovery.beacon_jitter = std::strtod(v, nullptr);
     } else if (arg == "--metrics" && (v = need(i))) {
       cli->metrics_path = v;
+    } else if (arg == "--count" && (v = need(i))) {
+      cli->count = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--kill-source") {
+      cli->kill_source = true;
+    } else if (arg == "--backend" && (v = need(i))) {
+      if (std::strcmp(v, "poll") == 0) {
+        cli->backend = net::LoopBackend::kPoll;
+      } else if (std::strcmp(v, "epoll") == 0) {
+        cli->backend = net::LoopBackend::kEpoll;
+      } else if (std::strcmp(v, "auto") == 0) {
+        cli->backend = net::LoopBackend::kAuto;
+      } else {
+        return false;
+      }
+    } else if (arg == "--seed" && (v = need(i))) {
+      cli->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--drop" && (v = need(i))) {
+      cli->fault.drop = std::strtod(v, nullptr);
+    } else if (arg == "--dup" && (v = need(i))) {
+      cli->fault.duplicate = std::strtod(v, nullptr);
+    } else if (arg == "--reorder" && (v = need(i))) {
+      cli->fault.reorder = std::strtod(v, nullptr);
+      if (cli->fault.reorder_window == 0) cli->fault.reorder_window = 4;
+    } else if (arg == "--reorder-window" && (v = need(i))) {
+      cli->fault.reorder_window =
+          static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       return false;
     }
   }
-  return cli->probe || cli->live.id.valid();
+  if (cli->count < 1) return false;
+  return cli->probe || cli->live.id.valid() || cli->count > 1;
+}
+
+/// The mass-live mode: N nodes, one loop, one process (docs/NET.md).
+/// Exit 0 = converged (and, with --kill-source, retracted leak-free);
+/// exit 1 = an invariant failed; exit 2 = sockets unavailable (skip).
+int run_mass(const Cli& cli) {
+  net::MassLiveOptions opts;
+  opts.count = cli.count;
+  opts.base_id = cli.live.id.valid() ? cli.live.id.value() : 1;
+  opts.transport = cli.live.transport;
+  opts.discovery = cli.live.discovery;
+  opts.fault = cli.fault;
+  opts.backend = cli.backend;
+  opts.seed = cli.seed;
+  // Mass-scale survival kit.  An injection at node 0 triggers N
+  // same-instant re-propagations, each fanned out to N sockets — about
+  // N² datagrams in one burst, which drowns any receive buffer.  So:
+  // big SO_RCVBUF to absorb what fits, MTU batching to cut the datagram
+  // count by ~an order of magnitude, and the anti-entropy digest (one
+  // chunk riding every few beacons) to repair whatever still drowned —
+  // a node that only caught a hop-2 re-propagation hears the hop-1
+  // holder's digest differ and gets the exact value re-sent.
+  if (opts.transport.rcvbuf == 0) opts.transport.rcvbuf = 4 << 20;
+  opts.batch.enabled = true;
+  opts.batch.flush_delay = SimTime::from_millis(5);
+  opts.digest_period = opts.discovery.beacon_period * 2;
+  // RETRACT/PROBE go over the reliable channel: a RETRACT lost in the
+  // post-kill storm leaves cliques of mutually-"justified" stale
+  // replicas that no flood ever repairs (engine_maintenance.cc) — at
+  // N=300 some always drown without at-least-once delivery.
+  opts.reliable = true;
+  // The hold-down must outlast the whole expiry wave.  Beacon jitter
+  // spreads the N nodes' source-expiry instants over roughly a beacon
+  // period; the default 150 ms window reopens early retractors to
+  // digest resends from late holders, which reinstall at hop+1 with a
+  // fresh justification — an anti-entropy/retraction livelock.  Eight
+  // beacon periods comfortably covers expiry (k beacons) plus spread.
+  opts.maintenance.hold_down = opts.discovery.beacon_period * 8;
+
+  net::MassLiveWorld world(opts);
+  if (!world.start()) {
+    std::fprintf(stderr, "tota_node: cannot open transports: %s\n",
+                 world.error().c_str());
+    return 2;
+  }
+  std::printf("MASS count=%d backend=%s port=%u\n", cli.count,
+              world.loop().backend() == net::LoopBackend::kEpoll ? "epoll"
+                                                                 : "poll",
+              static_cast<unsigned>(opts.transport.port));
+  std::fflush(stdout);
+
+  const std::string field = cli.inject.empty() ? "mass" : cli.inject;
+  world.inject_gradient(0, field);
+
+  // Convergence = the field is BFS-exact everywhere AND the discovery
+  // mesh is complete; the retraction phase needs every survivor to have
+  // observed the source as a neighbour, or its death is not a topology
+  // change to react to.
+  const SimTime timeout =
+      SimTime::from_millis(static_cast<double>(cli.duration_ms));
+  const bool converged = world.run_until(
+      [&] { return world.converged(field, 0) && world.mesh_complete(); },
+      timeout);
+  if (converged) {
+    std::printf("CONVERGED t_ms=%lld nodes=%d\n",
+                static_cast<long long>(world.loop().now().millis()),
+                world.alive_count());
+  } else {
+    std::printf("CONVERGE-TIMEOUT t_ms=%lld exact=%d wrong=%d nodes=%d\n",
+                static_cast<long long>(world.loop().now().millis()),
+                world.bfs_exact_holders(field, 0),
+                world.wrong_hop_holders(field, 0), world.alive_count());
+  }
+  std::fflush(stdout);
+
+  int leaks = 0;
+  if (converged && cli.kill_source) {
+    std::printf("KILL id=%llu\n",
+                static_cast<unsigned long long>(opts.base_id));
+    std::fflush(stdout);
+    world.kill(0);
+    world.run_until([&] { return world.leaked(field) == 0; }, timeout);
+    leaks = world.leaked(field);
+    std::printf("%s t_ms=%lld leaks=%d\n",
+                leaks == 0 ? "RETRACTED" : "RETRACT-TIMEOUT",
+                static_cast<long long>(world.loop().now().millis()), leaks);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "FINAL-MASS nodes=%d converged=%d leaks=%d rx=%lld drain_yield=%lld "
+      "fault_drop=%lld compactions=%lld\n",
+      world.count(), converged ? 1 : 0, leaks,
+      static_cast<long long>(world.metric_sum("net.udp.rx")),
+      static_cast<long long>(world.metric_sum("net.udp.drain_yield")),
+      static_cast<long long>(world.metric_sum("net.fault.drop")),
+      static_cast<long long>(world.metric_sum("loop.timer_compactions")));
+  std::fflush(stdout);
+
+  if (!cli.metrics_path.empty()) {
+    obs::Hub merged;
+    merged.metrics.merge_from(world.loop_hub().metrics);
+    for (int i = 0; i < world.count(); ++i) {
+      merged.metrics.merge_from(world.hub(i).metrics);
+    }
+    FILE* out = std::fopen(cli.metrics_path.c_str(), "w");
+    if (out != nullptr) {
+      const std::string doc =
+          obs::bench_to_json("tota_node_mass", merged).dump(2);
+      std::fwrite(doc.data(), 1, doc.size(), out);
+      std::fclose(out);
+    }
+  }
+
+  world.stop();
+  return (converged && leaks == 0) ? 0 : 1;
 }
 
 /// "<n>" or "absent" for the named gradient's local hop value.
@@ -129,8 +305,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (cli.count > 1 && !cli.probe) {
+    std::signal(SIGPIPE, SIG_IGN);
+    return run_mass(cli);
+  }
+
   obs::Hub hub;
-  net::EventLoop loop;
+  net::EventLoop loop(cli.backend, &hub.metrics);
   net::LivePlatform platform(loop, cli.live, &hub);
 
   if (cli.probe) {

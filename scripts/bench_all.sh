@@ -40,7 +40,7 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)" --target \
   bench_micro bench_fig1_gradient bench_fig3_flocking bench_sec51_routing \
   bench_sec52_gathering bench_sec6_maintenance bench_ablations \
-  bench_aggregation bench_scale bench_soak bench_transport
+  bench_aggregation bench_scale bench_soak bench_transport bench_live
 
 mkdir -p "$OUT"
 OUT=$(cd "$OUT" && pwd)

@@ -19,7 +19,10 @@
 set -uo pipefail
 
 BIN=${1:-build/examples/tota_node}
-PORT=${2:-$((42000 + RANDOM % 20000))}
+# Per-run port derived from this shell's PID: parallel ctest/CI runs on
+# one host each get their own shared channel instead of colliding
+# through SO_REUSEPORT semantics and seeing each other's traffic.
+PORT=${2:-$((42000 + $$ % 10000))}
 GROUP=127.255.255.255
 MODE=bcast
 DIR=$(mktemp -d)

@@ -2,6 +2,11 @@
 
 #include <poll.h>
 #include <time.h>
+#include <unistd.h>
+
+#if TOTA_HAVE_EPOLL
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <stdexcept>
@@ -17,9 +22,61 @@ std::int64_t monotonic_ns() {
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
+/// Ready events fetched per epoll_wait.  More ready fds than this simply
+/// surface on the next wakeup (level-triggered), so the constant bounds
+/// per-iteration work, not throughput.
+constexpr int kEpollBatch = 64;
+
+LoopBackend resolve(LoopBackend requested) {
+  switch (requested) {
+    case LoopBackend::kPoll:
+      return LoopBackend::kPoll;
+    case LoopBackend::kEpoll:
+#if TOTA_HAVE_EPOLL
+      return LoopBackend::kEpoll;
+#else
+      throw std::invalid_argument("epoll backend unavailable on this platform");
+#endif
+    case LoopBackend::kAuto:
+    default:
+#if TOTA_HAVE_EPOLL
+      return LoopBackend::kEpoll;
+#else
+      return LoopBackend::kPoll;
+#endif
+  }
+}
+
 }  // namespace
 
-EventLoop::EventLoop() : epoch_ns_(monotonic_ns()) {}
+EventLoop::EventLoop(LoopBackend backend, obs::MetricsRegistry* metrics)
+    : epoch_ns_(monotonic_ns()), backend_(resolve(backend)) {
+#if TOTA_HAVE_EPOLL
+  if (backend_ == LoopBackend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+      // epoll_create can fail under fd exhaustion; degrade instead of
+      // dying — the poll backend serves the same contract.
+      backend_ = LoopBackend::kPoll;
+    }
+  }
+#endif
+  if (metrics != nullptr) {
+    wakeups_ = &metrics->counter("loop.wakeups");
+    fd_events_ = &metrics->counter("loop.fd_events");
+    timers_fired_ = &metrics->counter("loop.timers_fired");
+    compactions_ = &metrics->counter("loop.timer_compactions");
+    fds_gauge_ = &metrics->gauge("loop.fds");
+    metrics->gauge("loop.backend")
+        .set(backend_ == LoopBackend::kEpoll ? 1.0 : 0.0);
+  }
+}
+
+EventLoop::~EventLoop() {
+#if TOTA_HAVE_EPOLL
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+}
 
 SimTime EventLoop::now() const {
   return SimTime((monotonic_ns() - epoch_ns_) / 1000);
@@ -30,7 +87,8 @@ EventLoop::TimerId EventLoop::schedule(SimTime delay, Action action) {
   const TimerId id = next_timer_++;
   const SimTime when = now() + (delay < SimTime::zero() ? SimTime::zero()
                                                         : delay);
-  timers_.push(TimerEntry{when, next_seq_++, id});
+  timers_.push_back(TimerEntry{when, next_seq_++, id});
+  std::push_heap(timers_.begin(), timers_.end(), Later{});
   timer_actions_.emplace(id, std::move(action));
   ++live_timers_;
   return id;
@@ -38,43 +96,148 @@ EventLoop::TimerId EventLoop::schedule(SimTime delay, Action action) {
 
 void EventLoop::cancel(TimerId id) {
   // The heap entry stays and is skipped when popped (same lazy-deletion
-  // scheme as sim::EventQueue).
-  if (timer_actions_.erase(id) > 0) --live_timers_;
+  // scheme as sim::EventQueue) — but unlike a finite simulation, a live
+  // loop runs forever, so tombstones are compacted away once they
+  // outnumber live timers.
+  if (timer_actions_.erase(id) == 0) return;
+  --live_timers_;
+  if (timers_.size() > 2 * live_timers_ + 64) compact_timers();
+}
+
+void EventLoop::compact_timers() {
+  std::erase_if(timers_, [this](const TimerEntry& e) {
+    return timer_actions_.find(e.id) == timer_actions_.end();
+  });
+  std::make_heap(timers_.begin(), timers_.end(), Later{});
+  if (compactions_ != nullptr) compactions_->inc();
 }
 
 void EventLoop::add_fd(int fd, Action on_readable) {
   if (fd < 0) throw std::invalid_argument("negative fd");
   if (on_readable == nullptr) throw std::invalid_argument("null fd callback");
-  fds_[fd] = FdEntry{std::move(on_readable), next_fd_generation_++};
+  const std::uint64_t generation = next_fd_generation_++;
+  const auto [it, inserted] =
+      fds_.insert_or_assign(fd, FdEntry{std::move(on_readable), generation});
+  (void)it;
+#if TOTA_HAVE_EPOLL
+  if (backend_ == LoopBackend::kEpoll) {
+    // data packs (generation low 32 | fd): epoll events fetched before a
+    // remove_fd + reuse + re-add of the same number must not dispatch to
+    // the fresh registration.  32 generation bits suffice — a collision
+    // would need 2^32 re-registrations of one fd within a single
+    // dispatch round.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = (generation << 32) |
+                  static_cast<std::uint32_t>(static_cast<unsigned>(fd));
+    if (::epoll_ctl(epoll_fd_, inserted ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd,
+                    &ev) < 0) {
+      fds_.erase(fd);
+      throw std::runtime_error("epoll_ctl add failed");
+    }
+  }
+#endif
+  pfds_dirty_ = true;
+  if (fds_gauge_ != nullptr) fds_gauge_->set(static_cast<double>(fds_.size()));
 }
 
-void EventLoop::remove_fd(int fd) { fds_.erase(fd); }
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+#if TOTA_HAVE_EPOLL
+  if (backend_ == LoopBackend::kEpoll) {
+    // EBADF/ENOENT are fine: a closed fd was already dropped by the
+    // kernel.  (Callers should still deregister before closing — a
+    // *reused* number would otherwise inherit the old registration.)
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  pfds_dirty_ = true;
+  if (fds_gauge_ != nullptr) fds_gauge_->set(static_cast<double>(fds_.size()));
+}
 
 SimTime EventLoop::fire_due_timers() {
   const SimTime t = now();
   while (!timers_.empty()) {
-    const TimerEntry entry = timers_.top();
+    const TimerEntry entry = timers_.front();
     const auto it = timer_actions_.find(entry.id);
     if (it == timer_actions_.end()) {  // cancelled; discard lazily
-      timers_.pop();
+      std::pop_heap(timers_.begin(), timers_.end(), Later{});
+      timers_.pop_back();
       continue;
     }
     if (entry.when > t) return entry.when - t;
-    timers_.pop();
+    std::pop_heap(timers_.begin(), timers_.end(), Later{});
+    timers_.pop_back();
     Action action = std::move(it->second);
     timer_actions_.erase(it);
     --live_timers_;
+    if (timers_fired_ != nullptr) timers_fired_->inc();
     action();
   }
   return SimTime(-1);
 }
 
+void EventLoop::dispatch_fd(int fd, std::uint64_t generation_low32) {
+  // The callback may remove_fd (even its own), and a removed fd number
+  // can be reused and re-added within this very round — the generation
+  // stamp distinguishes the registration these events belong to from a
+  // fresh one that merely shares the number.
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if ((it->second.generation & 0xFFFFFFFFu) != generation_low32) return;
+  if (fd_events_ != nullptr) fd_events_->inc();
+  it->second.on_readable();
+}
+
+void EventLoop::wait_poll(int timeout_ms) {
+  if (pfds_dirty_) {
+    pfds_.clear();
+    pfd_generations_.clear();
+    pfds_.reserve(fds_.size());
+    pfd_generations_.reserve(fds_.size());
+    for (const auto& [fd, entry] : fds_) {
+      pfds_.push_back(pollfd{fd, POLLIN, 0});
+      pfd_generations_.push_back(entry.generation);
+    }
+    pfds_dirty_ = false;
+  } else {
+    for (pollfd& p : pfds_) p.revents = 0;
+  }
+  const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+  if (wakeups_ != nullptr) wakeups_->inc();
+  if (n <= 0) return;  // timeout or EINTR; timers fire next iteration
+
+  // Dispatch from an index loop over the persistent cache: callbacks may
+  // add_fd (invalidating a rebuild for the *next* round via pfds_dirty_)
+  // but the cache itself is stable for this round.
+  for (std::size_t i = 0; i < pfds_.size(); ++i) {
+    const pollfd& p = pfds_[i];
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    dispatch_fd(p.fd, pfd_generations_[i] & 0xFFFFFFFFu);
+    if (stop_requested_) return;
+  }
+}
+
+#if TOTA_HAVE_EPOLL
+void EventLoop::wait_epoll(int timeout_ms) {
+  epoll_event events[kEpollBatch];
+  const int n = ::epoll_wait(epoll_fd_, events, kEpollBatch, timeout_ms);
+  if (wakeups_ != nullptr) wakeups_->inc();
+  if (n <= 0) return;  // timeout or EINTR; timers fire next iteration
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t data = events[i].data.u64;
+    dispatch_fd(static_cast<int>(data & 0xFFFFFFFFu), data >> 32);
+    if (stop_requested_) return;
+  }
+}
+#endif
+
 void EventLoop::step(SimTime deadline) {
   const SimTime until_timer = fire_due_timers();
-  if (stopped_) return;
+  if (stop_requested_) return;
 
   // Sleep until the earliest of: next timer, run_for deadline, fd
-  // readiness.  poll() is the no-busy-wait core of the loop.
+  // readiness.  The kernel wait is the no-busy-wait core of the loop.
   std::int64_t wait_ms = -1;  // indefinite
   const auto bound = [&wait_ms](SimTime dt) {
     // Round up so we never wake a millisecond early and spin.
@@ -88,47 +251,28 @@ void EventLoop::step(SimTime deadline) {
   }
   if (wait_ms < 0 && fds_.empty()) {
     // Nothing to wait for at all: stop instead of sleeping forever.
-    stopped_ = true;
+    stop_requested_ = true;
     return;
   }
 
-  std::vector<pollfd> pfds;
-  std::vector<std::uint64_t> generations;
-  pfds.reserve(fds_.size());
-  generations.reserve(fds_.size());
-  for (const auto& [fd, entry] : fds_) {
-    pfds.push_back(pollfd{fd, POLLIN, 0});
-    generations.push_back(entry.generation);
+  const int timeout_ms = static_cast<int>(
+      std::min<std::int64_t>(wait_ms < 0 ? 60'000 : wait_ms, 60'000));
+#if TOTA_HAVE_EPOLL
+  if (backend_ == LoopBackend::kEpoll) {
+    wait_epoll(timeout_ms);
+    return;
   }
-  const int n = ::poll(pfds.data(), pfds.size(),
-                       static_cast<int>(std::min<std::int64_t>(
-                           wait_ms < 0 ? 60'000 : wait_ms, 60'000)));
-  if (n <= 0) return;  // timeout or EINTR; timers fire next iteration
-
-  for (std::size_t i = 0; i < pfds.size(); ++i) {
-    const pollfd& p = pfds[i];
-    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-    // The callback may remove_fd (even its own), and a removed fd number
-    // can be reused and re-added within this very round — the generation
-    // stamp distinguishes the registration these revents belong to from
-    // a fresh one that merely shares the number.
-    const auto it = fds_.find(p.fd);
-    if (it != fds_.end() && it->second.generation == generations[i]) {
-      it->second.on_readable();
-    }
-    if (stopped_) return;
-  }
+#endif
+  wait_poll(timeout_ms);
 }
 
 void EventLoop::run() {
-  stopped_ = false;
-  while (!stopped_) step(SimTime(-1));
+  while (!consume_stop()) step(SimTime(-1));
 }
 
 void EventLoop::run_for(SimTime duration) {
-  stopped_ = false;
   const SimTime deadline = now() + duration;
-  while (!stopped_ && now() < deadline) step(deadline);
+  while (!consume_stop() && now() < deadline) step(deadline);
 }
 
 }  // namespace tota::net

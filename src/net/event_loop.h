@@ -1,12 +1,31 @@
-// EventLoop — the real-time runtime of a live TOTA node.
+// EventLoop — the real-time runtime of one or many live TOTA nodes.
 //
 // The simulator's EventQueue advances a virtual clock; this loop runs the
 // same shape of computation against the machine's monotonic clock and a
-// poll(2) readiness wait, so one thread serves sockets and timers with no
-// busy-wait: each iteration sleeps in poll() until either a registered fd
-// turns readable or the earliest timer is due.  Single-threaded by
-// design, like everything above it — callbacks run on the loop thread and
-// need no locks.
+// kernel readiness wait, so one thread serves sockets and timers with no
+// busy-wait: each iteration sleeps in epoll_wait(2)/poll(2) until either
+// a registered fd turns readable or the earliest timer is due.
+// Single-threaded by design, like everything above it — callbacks run on
+// the loop thread and need no locks.
+//
+// The loop is multi-tenant: it carries no per-node state, so N
+// LivePlatforms (each its own socket + Middleware + engine + metric hub)
+// share one loop and one thread — the mass-live runtime
+// (net::MassLiveWorld, docs/NET.md "EventLoop backends & multi-tenant
+// hosting") hosts hundreds of engines this way.  That is also why the
+// readiness backend matters: poll(2) is O(registered fds) per wakeup and
+// re-copies the whole fd set into the kernel every time, while epoll
+// registers each fd once and pays only O(ready fds) per wakeup.
+//
+//   Backend      registration              per-wakeup cost
+//   kPoll        persistent pollfd cache,  O(all fds) scan + kernel copy
+//                rebuilt only on change
+//   kEpoll       epoll_ctl once per        O(ready fds)
+//                add_fd/remove_fd
+//
+// kAuto picks epoll where the platform has it (Linux) and poll
+// elsewhere; both backends are always compiled on Linux so tests and
+// benches can A/B them in one binary.
 //
 // Time is reported as tota::SimTime (microseconds since loop
 // construction), so the engine/middleware layers see the same clock type
@@ -16,23 +35,50 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#define TOTA_HAVE_EPOLL 1
+#else
+#define TOTA_HAVE_EPOLL 0
+#endif
+
+struct pollfd;  // <poll.h>; kept out of this header
 
 namespace tota::net {
 
+/// Readiness backend selection.  kAuto resolves to kEpoll where
+/// available (Linux), kPoll elsewhere; asking for kEpoll on a platform
+/// without it throws at construction.
+enum class LoopBackend { kAuto, kPoll, kEpoll };
+
+/// Loop metric names (registered when a registry is supplied):
+///   loop.wakeups            readiness waits that returned
+///   loop.fd_events          fd readiness callbacks dispatched
+///   loop.timers_fired       timer actions run
+///   loop.timer_compactions  tombstone compactions of the timer heap
+///   loop.fds (gauge)        currently registered fds
+///   loop.backend (gauge)    0 = poll, 1 = epoll
 class EventLoop {
  public:
   using TimerId = std::uint64_t;
   using Action = std::function<void()>;
 
-  EventLoop();
+  /// `metrics` (optional, must outlive the loop) receives the loop.*
+  /// instruments above; nullptr skips all loop accounting.
+  explicit EventLoop(LoopBackend backend = LoopBackend::kAuto,
+                     obs::MetricsRegistry* metrics = nullptr);
+  ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The backend actually in use (kAuto resolved).
+  [[nodiscard]] LoopBackend backend() const { return backend_; }
 
   // --- time & timers ------------------------------------------------------
 
@@ -45,18 +91,27 @@ class EventLoop {
   TimerId schedule(SimTime delay, Action action);
 
   /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  /// Cancellation is lazy (the heap entry becomes a tombstone, skipped
+  /// when popped), but tombstones are compacted away whenever they
+  /// outnumber live timers — a periodic cancel+reschedule pattern
+  /// (discovery expiry re-arms, reliable-channel backoff) keeps the heap
+  /// O(live timers) over any process lifetime.
   void cancel(TimerId id);
 
   // --- fd readiness -------------------------------------------------------
 
   /// Invokes `on_readable` (from run()) whenever `fd` has data to read.
-  /// The fd should be non-blocking; the callback must drain it.
+  /// The fd should be non-blocking; the callback should drain it (honouring
+  /// its own fairness budget — see UdpOptions::drain_budget).
   /// Registrations carry a generation stamp: when a callback of the
-  /// current poll round does remove_fd(a) and a fresh socket reuses fd
-  /// number `a` and is re-added, the *old* socket's pending revents do
-  /// not leak into the new registration — its readiness is observed by
-  /// the next poll.
+  /// current dispatch round does remove_fd(a) and a fresh socket reuses
+  /// fd number `a` and is re-added, the *old* socket's pending readiness
+  /// does not leak into the new registration — its readiness is observed
+  /// by the next wait.  Re-adding a currently registered fd replaces its
+  /// callback (and its generation).
   void add_fd(int fd, Action on_readable);
+  /// Deregisters `fd`.  Call before closing the descriptor: the epoll
+  /// backend needs the fd alive to drop its kernel registration.
   void remove_fd(int fd);
 
   // --- driving ------------------------------------------------------------
@@ -68,11 +123,19 @@ class EventLoop {
   /// lifetime and by tests).
   void run_for(SimTime duration);
 
-  /// Makes run()/run_for() return after the current iteration; safe to
-  /// call from a callback.
-  void stop() { stopped_ = true; }
+  /// Makes run()/run_for() return after the current iteration.  Safe to
+  /// call from a callback — and *sticky*: a stop requested while the
+  /// loop is not running (e.g. a start-up failure path) makes the next
+  /// run()/run_for() entry return immediately instead of being silently
+  /// lost.  Each run entry consumes at most one pending stop.
+  void stop() { stop_requested_ = true; }
 
   [[nodiscard]] std::size_t pending_timers() const { return live_timers_; }
+  /// Heap entries including cancelled tombstones (bounded by compaction
+  /// at < 2 * pending_timers() + a small slack); exposed for the soak
+  /// tests that pin that bound.
+  [[nodiscard]] std::size_t timer_entries() const { return timers_.size(); }
+  [[nodiscard]] std::size_t registered_fds() const { return fds_.size(); }
 
  private:
   struct TimerEntry {
@@ -87,18 +150,41 @@ class EventLoop {
     }
   };
 
-  /// One poll()+dispatch iteration, waiting at most until `deadline`
+  /// One wait+dispatch iteration, waiting at most until `deadline`
   /// (negative micros = wait indefinitely for fds/timers).
   void step(SimTime deadline);
+
+  /// True exactly once per pending stop request.
+  bool consume_stop() {
+    const bool s = stop_requested_;
+    stop_requested_ = false;
+    return s;
+  }
 
   /// Fires every timer due at or before now(); returns the delay until
   /// the next pending timer, or a negative SimTime when none is pending.
   SimTime fire_due_timers();
 
-  std::int64_t epoch_ns_ = 0;  // CLOCK_MONOTONIC at construction
-  bool stopped_ = false;
+  /// Drops every tombstoned entry and re-heapifies; called when
+  /// tombstones outnumber live timers.
+  void compact_timers();
 
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later> timers_;
+  /// Dispatches one ready fd if its registration still matches the
+  /// generation observed at wait time.
+  void dispatch_fd(int fd, std::uint64_t generation_low32);
+
+  void wait_poll(int timeout_ms);
+#if TOTA_HAVE_EPOLL
+  void wait_epoll(int timeout_ms);
+#endif
+
+  std::int64_t epoch_ns_ = 0;  // CLOCK_MONOTONIC at construction
+  LoopBackend backend_ = LoopBackend::kPoll;
+  bool stop_requested_ = false;
+
+  // Timer heap, managed with std::push_heap/pop_heap so compaction can
+  // rebuild it in place (std::priority_queue hides its container).
+  std::vector<TimerEntry> timers_;
   std::unordered_map<TimerId, Action> timer_actions_;
   std::size_t live_timers_ = 0;
   TimerId next_timer_ = 1;
@@ -108,13 +194,30 @@ class EventLoop {
     Action on_readable;
     /// Registration generation: a kernel fd number is reused the moment
     /// it is closed, so the number alone cannot identify a registration
-    /// across a remove_fd + add_fd within one poll round.
+    /// across a remove_fd + add_fd within one dispatch round.
     std::uint64_t generation;
   };
-  /// Ordered map: poll registration and dispatch follow ascending fd
-  /// order, deterministically.
+  /// Ordered map: registration and (poll-backend) dispatch follow
+  /// ascending fd order, deterministically.
   std::map<int, FdEntry> fds_;
   std::uint64_t next_fd_generation_ = 1;
+
+  /// Poll backend: persistent registration cache, rebuilt only when the
+  /// fd set changes instead of every iteration.
+  std::vector<pollfd> pfds_;
+  std::vector<std::uint64_t> pfd_generations_;
+  bool pfds_dirty_ = true;
+
+#if TOTA_HAVE_EPOLL
+  int epoll_fd_ = -1;
+#endif
+
+  // Loop accounting; all nullptr when no registry was supplied.
+  obs::Counter* wakeups_ = nullptr;
+  obs::Counter* fd_events_ = nullptr;
+  obs::Counter* timers_fired_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Gauge* fds_gauge_ = nullptr;
 };
 
 }  // namespace tota::net

@@ -114,6 +114,9 @@ class LivePlatform final : public tota::Platform {
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] NetSession& session() { return session_; }
   [[nodiscard]] Discovery& discovery() { return session_.discovery(); }
+  [[nodiscard]] const Discovery& discovery() const {
+    return session_.discovery();
+  }
   [[nodiscard]] UdpTransport& transport() { return transport_; }
   [[nodiscard]] obs::Hub& hub() { return hub_; }
   /// The receive-path fault injector; nullptr when options.fault is

@@ -117,6 +117,7 @@ class NetSession {
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] Discovery& discovery() { return discovery_; }
+  [[nodiscard]] const Discovery& discovery() const { return discovery_; }
   [[nodiscard]] Batcher& batcher() { return batcher_; }
   [[nodiscard]] ReliableChannel& reliable() { return *rel_; }
   [[nodiscard]] const SessionOptions& options() const { return options_; }

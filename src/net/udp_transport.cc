@@ -33,7 +33,8 @@ UdpTransport::UdpTransport(UdpOptions options, obs::MetricsRegistry& metrics)
       send_err_(metrics.counter("net.udp.send_err")),
       rx_err_(metrics.counter("net.udp.rx_err")),
       rx_trunc_(metrics.counter("net.udp.rx_trunc")),
-      mtu_drop_(metrics.counter("net.mtu_drop")) {}
+      mtu_drop_(metrics.counter("net.mtu_drop")),
+      drain_yield_(metrics.counter("net.udp.drain_yield")) {}
 
 UdpTransport::~UdpTransport() { close(); }
 
@@ -76,6 +77,14 @@ bool UdpTransport::open() {
     return fail("SO_REUSEPORT");
   }
 #endif
+
+  if (options_.rcvbuf > 0) {
+    // Best effort: the kernel clamps to net.core.rmem_max.  Whatever it
+    // grants beats the default under a propagation storm; failure here
+    // is not worth refusing the socket over.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options_.rcvbuf,
+                 sizeof(options_.rcvbuf));
+  }
 
   sockaddr_in bind_addr{};
   bind_addr.sin_family = AF_INET;
@@ -170,6 +179,13 @@ std::size_t UdpTransport::drain(
   std::array<std::uint8_t, kMaxDatagram> buffer;
   std::size_t delivered = 0;
   for (;;) {
+    if (options_.drain_budget != 0 && delivered >= options_.drain_budget) {
+      // Budget exhausted with the socket possibly still readable: yield
+      // so the loop can serve its other tenants; level-triggered
+      // readiness re-arms this drain on the next wakeup.
+      drain_yield_.inc();
+      break;
+    }
     const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), MSG_TRUNC);
     if (n < 0) {
       if (errno == EINTR) continue;  // interrupted mid-drain: retry

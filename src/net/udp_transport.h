@@ -22,7 +22,8 @@
 // lossy medium is weather, not a bug.
 //
 // Metrics (docs/NET.md): net.udp.tx, net.udp.tx_bytes, net.udp.rx,
-// net.udp.rx_bytes, net.udp.send_err, net.udp.rx_err, net.udp.rx_trunc.
+// net.udp.rx_bytes, net.udp.send_err, net.udp.rx_err, net.udp.rx_trunc,
+// net.udp.drain_yield.
 #pragma once
 
 #include <netinet/in.h>
@@ -54,6 +55,20 @@ struct UdpOptions {
   /// net.mtu_drop — the live-path mirror of the simulators' per-link
   /// MTU accounting.
   std::size_t mtu = 0;
+  /// Most datagrams one drain() call delivers before yielding back to
+  /// the event loop; 0 = unlimited.  On a multi-tenant loop one flooded
+  /// socket must not starve every other engine's socket and all due
+  /// timers: a drain that hits the budget stops (counted as
+  /// net.udp.drain_yield) and is re-armed by the loop's level-triggered
+  /// readiness — the remaining datagrams surface on the next wakeup,
+  /// after everyone else had a turn.
+  std::size_t drain_budget = 1024;
+  /// Requested SO_RCVBUF in bytes; 0 keeps the kernel default.  A flood
+  /// on the shared channel (e.g. N nodes re-propagating an injection at
+  /// once) can overflow the ~208 KiB default and silently drop frames;
+  /// mass harnesses ask for several MiB.  Best-effort — the kernel
+  /// clamps to net.core.rmem_max, and a clamped request is not an error.
+  int rcvbuf = 0;
 };
 
 class UdpTransport {
@@ -81,12 +96,14 @@ class UdpTransport {
   /// false (and counts net.udp.send_err) on failure.
   bool send(std::span<const std::uint8_t> datagram);
 
-  /// Reads every datagram currently queued on the socket, invoking
-  /// `sink` for each; returns how many were delivered.  Call from the
-  /// loop's readability callback.  A cleanly drained queue
-  /// (EAGAIN/EWOULDBLOCK) ends the loop silently; a real receive error
-  /// also ends it but is counted (net.udp.rx_err) and recorded in
-  /// error().
+  /// Reads the queued datagrams off the socket — at most
+  /// options().drain_budget of them — invoking `sink` for each; returns
+  /// how many were delivered.  Call from the loop's readability
+  /// callback.  A cleanly drained queue (EAGAIN/EWOULDBLOCK) ends the
+  /// loop silently; a real receive error also ends it but is counted
+  /// (net.udp.rx_err) and recorded in error(); an exhausted budget ends
+  /// it too (net.udp.drain_yield) and relies on the loop's
+  /// level-triggered readiness to resume on the next wakeup.
   std::size_t drain(
       const std::function<void(std::span<const std::uint8_t>)>& sink);
 
@@ -109,6 +126,7 @@ class UdpTransport {
   obs::Counter& rx_err_;
   obs::Counter& rx_trunc_;
   obs::Counter& mtu_drop_;
+  obs::Counter& drain_yield_;
 };
 
 }  // namespace tota::net

@@ -13,6 +13,7 @@
 #include "net/discovery.h"
 #include "net/event_loop.h"
 #include "net/live_platform.h"
+#include "net/mass_live.h"
 #include "tota/middleware.h"
 #include "tuples/all.h"
 #include "tuples/gradient_tuple.h"
@@ -411,6 +412,164 @@ TEST(EventLoop, ReusedFdNumberDoesNotInheritStaleReadiness) {
   ::close(c1);
 }
 
+TEST(EventLoop, StopBeforeRunIsStickyAndConsumedOnce) {
+  // Regression: a stop() requested while the loop was not running (a
+  // start-up failure path, or a callback racing shutdown) used to be
+  // silently lost — the next run() would hang until its first event.
+  EventLoop loop;
+  loop.stop();
+  bool fired = false;
+  loop.schedule(SimTime::from_millis(2), [&] { fired = true; });
+  loop.run();  // must return immediately on the pending stop
+  EXPECT_FALSE(fired);
+
+  // The pending stop was consumed exactly once: the next run_for is a
+  // normal run, not another immediate return.
+  loop.run_for(SimTime::from_millis(30));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, CancelledTimerTombstonesAreCompacted) {
+  // Regression: cancel() only tombstoned the heap entry, so a periodic
+  // cancel+reschedule pattern (discovery expiry re-arms do exactly
+  // this) grew the heap without bound over the process lifetime.
+  EventLoop loop;
+  const auto never = SimTime::from_seconds(3600);
+  std::vector<EventLoop::TimerId> ids;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(loop.schedule(never, [] {}));
+    }
+    for (const auto id : ids) loop.cancel(id);
+    ids.clear();
+    // The bound documented on timer_entries(): tombstones never
+    // outnumber live timers by more than the compaction slack.
+    ASSERT_LE(loop.timer_entries(), 2 * loop.pending_timers() + 64);
+  }
+  EXPECT_EQ(loop.pending_timers(), 0u);
+  EXPECT_LE(loop.timer_entries(), 64u);
+}
+
+// --- backend-parametrized loop behaviour ------------------------------------
+
+// Every behavioural contract must hold identically on both readiness
+// backends — mass-live picks epoll, other platforms poll, and the
+// engine above must not be able to tell.
+class LoopBackendTest : public ::testing::TestWithParam<LoopBackend> {};
+
+TEST_P(LoopBackendTest, TimersFireInDeadlineOrder) {
+  EventLoop loop(GetParam());
+  std::vector<int> order;
+  loop.schedule(SimTime::from_millis(20), [&] { order.push_back(2); });
+  loop.schedule(SimTime::from_millis(5), [&] { order.push_back(1); });
+  loop.schedule(SimTime::from_millis(40), [&] {
+    order.push_back(3);
+    loop.stop();
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(LoopBackendTest, SameInstantTimersFireInScheduleOrder) {
+  // FIFO among equal deadlines is part of the timer contract (the sim
+  // EventQueue guarantees it); both backends share the heap, but the
+  // parity is what multi-backend CI actually pins.
+  EventLoop loop(GetParam());
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    loop.schedule(SimTime::from_millis(5), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  loop.run_for(SimTime::from_millis(40));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_P(LoopBackendTest, FdReadinessDeliversCallback) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EventLoop loop(GetParam());
+  std::string got;
+  loop.add_fd(fds[0], [&] {
+    char buf[16];
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n > 0) got.assign(buf, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  loop.schedule(SimTime::from_millis(5),
+                [&] { ASSERT_EQ(::write(fds[1], "ping", 4), 4); });
+  loop.run_for(SimTime::from_millis(500));
+  EXPECT_EQ(got, "ping");
+  loop.remove_fd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_P(LoopBackendTest, ReusedFdNumberDoesNotInheritStaleReadiness) {
+  // The generation-stamp contract, on both backends: a callback of the
+  // current dispatch round removes+closes another registered fd, a
+  // fresh pipe reuses its number, and the stale readiness must not be
+  // delivered to the new registration.
+  int a[2], b[2];
+  ASSERT_EQ(::pipe(a), 0);
+  ASSERT_EQ(::pipe(b), 0);
+  ASSERT_LT(a[0], b[0]);
+
+  EventLoop loop(GetParam());
+  int reused_fires = 0;
+  int c0 = -1, c1 = -1;
+  loop.add_fd(a[0], [&] {
+    char buf[8];
+    ASSERT_EQ(::read(a[0], buf, sizeof(buf)), 1);
+    loop.remove_fd(b[0]);
+    ::close(b[0]);
+    ::close(b[1]);
+    int c[2];
+    ASSERT_EQ(::pipe(c), 0);
+    c0 = c[0];
+    c1 = c[1];
+    ASSERT_EQ(c0, b[0]) << "lowest-free-fd reuse is POSIX-guaranteed";
+    loop.add_fd(c0, [&] {
+      char t[8];
+      (void)::read(c0, t, sizeof(t));
+      ++reused_fires;
+    });
+  });
+  loop.add_fd(b[0], [&] { FAIL() << "removed registration fired"; });
+
+  ASSERT_EQ(::write(a[1], "x", 1), 1);
+  ASSERT_EQ(::write(b[1], "y", 1), 1);
+  loop.run_for(SimTime::from_millis(30));
+  EXPECT_EQ(reused_fires, 0) << "stale readiness leaked into the reused fd";
+
+  ASSERT_GT(c1, 0);
+  ASSERT_EQ(::write(c1, "z", 1), 1);
+  loop.run_for(SimTime::from_millis(30));
+  EXPECT_EQ(reused_fires, 1);
+
+  loop.remove_fd(a[0]);
+  loop.remove_fd(c0);
+  ::close(a[0]);
+  ::close(a[1]);
+  ::close(c0);
+  ::close(c1);
+}
+
+#if TOTA_HAVE_EPOLL
+INSTANTIATE_TEST_SUITE_P(Backends, LoopBackendTest,
+                         ::testing::Values(LoopBackend::kPoll,
+                                           LoopBackend::kEpoll),
+                         [](const auto& info) {
+                           return info.param == LoopBackend::kEpoll
+                                      ? "epoll"
+                                      : "poll";
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(Backends, LoopBackendTest,
+                         ::testing::Values(LoopBackend::kPoll),
+                         [](const auto&) { return std::string("poll"); });
+#endif
+
 // --- udp transport error accounting ----------------------------------------
 
 TEST(UdpTransport, RealReceiveErrorIsCountedNotMasked) {
@@ -436,6 +595,44 @@ TEST(UdpTransport, RealReceiveErrorIsCountedNotMasked) {
   EXPECT_EQ(transport.drain([](std::span<const std::uint8_t>) {}), 0u);
   EXPECT_EQ(metrics.get("net.udp.rx_err"), 1);
   EXPECT_NE(transport.error().find("recv"), std::string::npos);
+}
+
+TEST(UdpTransport, DrainBudgetYieldsInsteadOfStarving) {
+  // Regression: drain() looped until EAGAIN, so one flooded socket on a
+  // multi-tenant loop starved every other tenant's socket and all due
+  // timers.  A budget caps one drain; level-triggered readiness re-arms
+  // the rest for the next wakeup.
+  obs::MetricsRegistry metrics;
+  UdpOptions opts;
+  opts.mode = UdpOptions::Mode::kBroadcast;
+  opts.group = "127.255.255.255";
+  opts.port = static_cast<std::uint16_t>(40000 + ((::getpid() + 193) % 20000));
+  opts.drain_budget = 4;
+  UdpTransport transport(opts, metrics);
+  if (!transport.open()) {
+    GTEST_SKIP() << "UDP unavailable here: " << transport.error();
+  }
+
+  // The broadcast medium echoes: our own sends land in our own queue.
+  const wire::Bytes datagram = {0x10, 0x20, 0x30};
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(transport.send(datagram));
+
+  // Let loopback delivery finish before draining (it is effectively
+  // synchronous on Linux, but the contract does not promise that), so
+  // the first drain faces the whole 6-datagram backlog at once.
+  ::usleep(20000);
+
+  const std::size_t first =
+      transport.drain([](std::span<const std::uint8_t>) {});
+  ASSERT_EQ(first, 4u) << "drain must stop at the budget";
+  EXPECT_EQ(metrics.get("net.udp.drain_yield"), 1);
+
+  std::size_t rest = 0;
+  for (int tries = 0; tries < 100 && rest < 2; ++tries) {
+    rest += transport.drain([](std::span<const std::uint8_t>) {});
+    if (rest < 2) ::usleep(2000);
+  }
+  EXPECT_EQ(rest, 2u) << "the remainder surfaces on the next drain";
 }
 
 // --- two live nodes over loopback UDP -------------------------------------
@@ -490,6 +687,121 @@ TEST(LivePlatform, GradientCrossesRealSockets) {
 
   pa.stop();
   pb.stop();
+}
+
+// --- mass-live: N nodes on one multi-tenant loop ---------------------------
+
+MassLiveOptions mass_options(int count, std::uint16_t port_salt) {
+  MassLiveOptions o;
+  o.count = count;
+  o.transport.mode = UdpOptions::Mode::kBroadcast;
+  o.transport.group = "127.255.255.255";
+  o.transport.port =
+      static_cast<std::uint16_t>(40000 + ((::getpid() + port_salt) % 20000));
+  o.transport.rcvbuf = 4 << 20;
+  o.discovery.beacon_period = SimTime::from_millis(40);
+  o.discovery.expiry_missed_beacons = 6;
+  o.batch.enabled = true;
+  o.batch.flush_delay = SimTime::from_millis(2);
+  o.digest_period = SimTime::from_millis(80);
+  o.reliable = true;
+  o.maintenance.hold_down = SimTime::from_millis(400);
+  o.seed = 7;
+  return o;
+}
+
+// The smoke_net.sh topology, in-process: three complete nodes on one
+// loop must behave exactly like three processes — converge the gradient
+// BFS-exact, observe the source's death, retract leak-free.
+TEST(MassLive, TrioConvergesKillsAndRetracts) {
+  MassLiveWorld world(mass_options(3, 389));
+  if (!world.start()) {
+    GTEST_SKIP() << "UDP unavailable here: " << world.error();
+  }
+  world.inject_gradient(0, "trio");
+
+  ASSERT_TRUE(world.run_until(
+      [&] { return world.converged("trio", 0) && world.mesh_complete(); },
+      SimTime::from_seconds(10)))
+      << "exact=" << world.bfs_exact_holders("trio", 0)
+      << " wrong=" << world.wrong_hop_holders("trio", 0);
+  EXPECT_EQ(world.bfs_exact_holders("trio", 0), 3);
+  EXPECT_EQ(world.wrong_hop_holders("trio", 0), 0);
+
+  world.kill(0);
+  ASSERT_TRUE(world.run_until([&] { return world.leaked("trio") == 0; },
+                              SimTime::from_seconds(10)))
+      << world.leaked("trio") << " orphaned replicas leaked";
+  // Both survivors observed the departure as a real topology change.
+  EXPECT_GE(world.metric_sum("net.neighbor.down"), 2);
+  world.stop();
+}
+
+// A dozen nodes under FaultInjector chaos on every receive path: the
+// soak shape of scripts/mass_live.sh at unit-test scale.  Also pins the
+// timer-heap tombstone bound under real churn — discovery expiry
+// re-arms are exactly the cancel+reschedule pattern that used to grow
+// the heap without bound.
+TEST(MassLive, ChaosSoakConvergesLeakFreeWithBoundedTimerHeap) {
+  MassLiveOptions opts = mass_options(12, 617);
+  opts.fault.drop = 0.1;
+  opts.fault.duplicate = 0.05;
+  opts.fault.reorder = 0.05;
+  opts.fault.reorder_window = 4;
+  MassLiveWorld world(opts);
+  if (!world.start()) {
+    GTEST_SKIP() << "UDP unavailable here: " << world.error();
+  }
+  world.inject_gradient(0, "soak");
+
+  ASSERT_TRUE(world.run_until(
+      [&] { return world.converged("soak", 0) && world.mesh_complete(); },
+      SimTime::from_seconds(20)))
+      << "exact=" << world.bfs_exact_holders("soak", 0)
+      << " wrong=" << world.wrong_hop_holders("soak", 0);
+  EXPECT_GT(world.metric_sum("net.fault.drop"), 0)
+      << "chaos was configured but never bit";
+
+  world.kill(0);
+  ASSERT_TRUE(world.run_until([&] { return world.leaked("soak") == 0; },
+                              SimTime::from_seconds(20)))
+      << world.leaked("soak") << " orphaned replicas leaked";
+
+  // The documented tombstone bound held through all the expiry re-arm
+  // churn of the whole soak.
+  EXPECT_LE(world.loop().timer_entries(),
+            2 * world.loop().pending_timers() + 64);
+  world.stop();
+}
+
+// N platforms on one loop must be observationally equivalent to N
+// processes: per-node hubs stay fully isolated while the shared loop
+// carries every tenant's sockets and timers.
+TEST(MassLive, TenantsShareTheLoopButNotTheirMetrics) {
+  MassLiveWorld world(mass_options(4, 811));
+  if (!world.start()) {
+    GTEST_SKIP() << "UDP unavailable here: " << world.error();
+  }
+  // One socket per tenant, all registered with the one loop.
+  EXPECT_EQ(world.loop().registered_fds(), 4u);
+
+  world.inject_gradient(2, "iso");
+  ASSERT_TRUE(world.run_until([&] { return world.converged("iso", 2); },
+                              SimTime::from_seconds(10)));
+
+  // Injection is visible only in the injecting node's hub; every node
+  // counted its own traffic in its own hub.
+  EXPECT_EQ(world.hub(2).metrics.get("engine.inject"), 1);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 2) {
+      EXPECT_EQ(world.hub(i).metrics.get("engine.inject"), 0);
+    }
+    EXPECT_GT(world.hub(i).metrics.get("net.udp.rx"), 0);
+  }
+  // The loop's own accounting lands in the loop hub, not any tenant's.
+  EXPECT_GT(world.loop_hub().metrics.get("loop.fd_events"), 0);
+  EXPECT_EQ(world.hub(0).metrics.get("loop.fd_events"), 0);
+  world.stop();
 }
 
 }  // namespace
